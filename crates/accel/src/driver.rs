@@ -1,0 +1,233 @@
+//! High-level driver: a builder that hides partitioning and configuration
+//! defaults for downstream users who just want to run an algorithm on a
+//! graph and read results.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::driver::Driver;
+//! use algos::{golden, Algorithm};
+//! use graph::GraphSpec;
+//!
+//! let g = GraphSpec::rmat(8, 4).build(5);
+//! let report = Driver::new()
+//!     .pes(4)
+//!     .channels(2)
+//!     .run(&g, Algorithm::bfs(0));
+//! assert_eq!(report.values, golden::run(&Algorithm::bfs(0), &g));
+//! assert!(report.gteps_at(200.0) > 0.0);
+//! ```
+
+use algos::Algorithm;
+use graph::{CooGraph, Partitioner};
+use moms::{MomsConfig, MomsSystemConfig, Topology};
+
+use crate::config::{ExecutionMode, PeConfig, SystemConfig};
+use crate::system::{RunResult, System};
+
+/// Builder for one-shot accelerator runs with sensible defaults.
+///
+/// Defaults: two-level MOMS, 4 PEs, 2 channels, automatically sized
+/// intervals (destination intervals chosen so jobs outnumber PEs ~16×),
+/// paper-ratio bank capacities.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    pes: usize,
+    channels: usize,
+    topology: Topology,
+    execution: ExecutionMode,
+    max_iterations: Option<u32>,
+    nd_override: Option<u32>,
+    cacheless: bool,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver::new()
+    }
+}
+
+impl Driver {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Driver {
+            pes: 4,
+            channels: 2,
+            topology: Topology::TwoLevel,
+            execution: ExecutionMode::AlgorithmDefault,
+            max_iterations: None,
+            nd_override: None,
+            cacheless: false,
+        }
+    }
+
+    /// Number of processing elements.
+    pub fn pes(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one PE");
+        self.pes = n;
+        self
+    }
+
+    /// Number of DRAM channels.
+    pub fn channels(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one channel");
+        self.channels = n;
+        self
+    }
+
+    /// MOMS organisation (default: two-level).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Synchronous/asynchronous control (default: per algorithm).
+    pub fn execution(mut self, e: ExecutionMode) -> Self {
+        self.execution = e;
+        self
+    }
+
+    /// Caps the iteration count.
+    pub fn max_iterations(mut self, n: u32) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Overrides the automatic destination-interval size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nd` is zero or exceeds the 15-bit offset limit.
+    pub fn destination_interval(mut self, nd: u32) -> Self {
+        assert!(nd > 0 && nd <= graph::partition::MAX_ND, "Nd out of range");
+        self.nd_override = Some(nd);
+        self
+    }
+
+    /// Removes the cache arrays (MSHRs and subentries only).
+    pub fn cacheless(mut self) -> Self {
+        self.cacheless = true;
+        self
+    }
+
+    /// Destination interval size chosen for `n` nodes: jobs ≈ 16× PEs,
+    /// clamped to a sane power-of-two range.
+    fn auto_nd(&self, n: u32) -> u32 {
+        if let Some(nd) = self.nd_override {
+            return nd;
+        }
+        let target_jobs = (self.pes as u32).max(1) * 16;
+        let raw = (n / target_jobs).max(64);
+        // Round down to a power of two, cap at the paper's 32,768.
+        let mut nd = 64;
+        while nd * 2 <= raw && nd * 2 <= 32_768 {
+            nd *= 2;
+        }
+        nd
+    }
+
+    /// Builds the [`SystemConfig`] this driver would use for `g`.
+    pub fn config(&self, g: &CooGraph) -> (SystemConfig, Partitioner) {
+        let nd = self.auto_nd(g.num_nodes());
+        let ns = (nd * 2).min(graph::partition::MAX_NS);
+        let mut shared = MomsConfig::paper_shared_bank().scaled(1, 16);
+        let mut private = MomsConfig::paper_private_bank(false).scaled(1, 16);
+        if self.cacheless {
+            shared = shared.without_cache();
+            private = private.without_cache();
+        }
+        let cfg = SystemConfig {
+            dram: dram::DramConfig::default(),
+            moms: MomsSystemConfig {
+                topology: self.topology,
+                num_pes: self.pes,
+                num_channels: self.channels,
+                shared_banks: 4 * self.channels,
+                shared,
+                private,
+                pe_slr: moms::system::default_pe_slrs(self.pes),
+                channel_slr: moms::system::default_channel_slrs(self.channels),
+                crossing_latency: 4,
+                base_net_latency: 2,
+                resp_link_cycles_per_line: 8,
+            },
+            pe: PeConfig {
+                bram_nodes: nd,
+                ..PeConfig::default()
+            },
+            max_iterations: self.max_iterations,
+            execution: self.execution,
+            moms_trace_cap: 0,
+        };
+        (cfg, Partitioner::new(ns, nd))
+    }
+
+    /// Runs `algo` on `g` and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weighted algorithm is run on an unweighted graph, or
+    /// the graph's intervals exceed hardware limits.
+    pub fn run(&self, g: &CooGraph, algo: Algorithm) -> RunResult {
+        let (cfg, partitioner) = self.config(g);
+        System::new(g, partitioner, algo, cfg).run()
+    }
+}
+
+/// Convenience re-export so `RunResult::gteps` reads naturally from the
+/// driver docs.
+impl RunResult {
+    /// Alias of [`RunResult::gteps`] for driver users.
+    pub fn gteps_at(&self, freq_mhz: f64) -> f64 {
+        self.gteps(freq_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algos::golden;
+    use graph::GraphSpec;
+
+    #[test]
+    fn defaults_run_and_match_golden() {
+        let g = GraphSpec::rmat(9, 4).build(91);
+        let r = Driver::new().run(&g, Algorithm::Scc);
+        assert_eq!(r.values, golden::run(&Algorithm::Scc, &g));
+    }
+
+    #[test]
+    fn auto_nd_keeps_jobs_numerous() {
+        let d = Driver::new().pes(4);
+        let nd = d.auto_nd(100_000);
+        let jobs = 100_000 / nd;
+        assert!(jobs >= 32, "only {jobs} jobs for 4 PEs (nd = {nd})");
+        assert!(nd.is_power_of_two());
+    }
+
+    #[test]
+    fn nd_override_is_respected() {
+        let g = GraphSpec::rmat(8, 4).build(93);
+        let (cfg, p) = Driver::new().destination_interval(128).config(&g);
+        assert_eq!(p.nd(), 128);
+        assert_eq!(cfg.pe.bram_nodes, 128);
+    }
+
+    #[test]
+    fn cacheless_builder_strips_arrays() {
+        let g = GraphSpec::rmat(8, 4).build(95);
+        let (cfg, _) = Driver::new().cacheless().config(&g);
+        assert!(cfg.moms.shared.cache.is_none());
+        assert!(cfg.moms.private.cache.is_none());
+    }
+
+    #[test]
+    fn topology_and_execution_flow_through() {
+        let g = GraphSpec::rmat(8, 4).build(97);
+        let r = Driver::new()
+            .topology(Topology::Private)
+            .execution(ExecutionMode::ForceSynchronous)
+            .run(&g, Algorithm::bfs(0));
+        assert_eq!(r.values, golden::run(&Algorithm::bfs(0), &g));
+    }
+}

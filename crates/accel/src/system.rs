@@ -1,0 +1,577 @@
+//! Top-level accelerator (Fig. 6): scheduler, PEs, MOMS, DRAM, and the
+//! Template 1 iteration loop.
+
+use std::collections::{HashMap, VecDeque};
+
+use simkit::{Cycle, Stats};
+
+use algos::Algorithm;
+use dram::{DramRequest, MemImage, MemorySystem};
+use graph::layout::{LayoutBuilder, LayoutInit};
+use graph::{CooGraph, GraphImage, Partitioner};
+use moms::MomsSystem;
+
+use crate::config::{ExecutionMode, SystemConfig};
+use crate::pe::{Job, Pe};
+
+/// Dynamic job scheduler: exposes one job per destination interval and
+/// lets idle PEs pull them (§IV-E), tracking `active_srcs` across
+/// iterations.
+#[derive(Debug)]
+pub struct Scheduler {
+    queue: VecDeque<usize>,
+    jobs_outstanding: usize,
+    /// Per-source-interval activity for the *next* iteration.
+    active_srcs_next: Vec<bool>,
+    /// Any destination updated this iteration (Template 1 `continue`).
+    any_update: bool,
+}
+
+impl Scheduler {
+    fn new(qs: usize) -> Self {
+        Scheduler {
+            queue: VecDeque::new(),
+            jobs_outstanding: 0,
+            active_srcs_next: vec![false; qs],
+            any_update: false,
+        }
+    }
+
+    fn begin_iteration(&mut self, jobs: impl IntoIterator<Item = usize>) {
+        debug_assert_eq!(self.jobs_outstanding, 0);
+        self.queue = jobs.into_iter().collect();
+        for f in self.active_srcs_next.iter_mut() {
+            *f = false;
+        }
+        self.any_update = false;
+    }
+
+    fn pull(&mut self) -> Option<usize> {
+        let d = self.queue.pop_front()?;
+        self.jobs_outstanding += 1;
+        Some(d)
+    }
+
+    fn complete(&mut self, d: usize, updated: bool, nd: u32, ns: u32, num_nodes: u32) {
+        self.jobs_outstanding -= 1;
+        if updated {
+            self.any_update = true;
+            // Mark every source interval overlapping destination interval
+            // `d` (its nodes will serve as sources next iteration).
+            let lo = d as u32 * nd;
+            let hi = (lo + nd).min(num_nodes);
+            let s_lo = (lo / ns) as usize;
+            let s_hi = ((hi - 1) / ns) as usize;
+            for s in s_lo..=s_hi.min(self.active_srcs_next.len() - 1) {
+                self.active_srcs_next[s] = true;
+            }
+        }
+    }
+
+    fn iteration_done(&self) -> bool {
+        self.queue.is_empty() && self.jobs_outstanding == 0
+    }
+}
+
+/// Result of a full run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total simulated clock cycles.
+    pub cycles: Cycle,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Edges processed (gathers retired), summed over iterations.
+    pub edges_processed: u64,
+    /// Final per-node values (after [`Algorithm::finalize`]).
+    pub values: Vec<u32>,
+    /// Merged statistics from PEs, MOMS, and DRAM.
+    pub stats: Stats,
+    /// Combined cache hit rate over both MOMS levels.
+    pub cache_hit_rate: f64,
+    /// Recorded `(pe, line)` MOMS requests (empty unless
+    /// [`crate::SystemConfig::moms_trace_cap`] was set).
+    pub moms_trace: Vec<(u16, u64)>,
+}
+
+impl RunResult {
+    /// Throughput in edges per cycle.
+    pub fn edges_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.edges_processed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Throughput in GTEPS at the given clock frequency.
+    pub fn gteps(&self, freq_mhz: f64) -> f64 {
+        self.edges_per_cycle() * freq_mhz / 1000.0
+    }
+}
+
+/// PE-owned DRAM id namespace: bit 63 clear, PE index in bits 62..48.
+fn encode_pe_id(pe: usize, tag: u64) -> u64 {
+    debug_assert!(tag < 1 << 48);
+    (pe as u64) << 48 | tag
+}
+
+fn decode_pe_id(id: u64) -> (usize, u64) {
+    ((id >> 48) as usize, id & ((1 << 48) - 1))
+}
+
+/// The full accelerator, ready to [`run`](Self::run) one algorithm on one
+/// graph.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    algo: Algorithm,
+    graph_nodes: u32,
+    gi: GraphImage,
+    img: MemImage,
+    mem: MemorySystem,
+    moms: MomsSystem,
+    pes: Vec<Pe>,
+    sched: Scheduler,
+    /// Source graph retained for `finalize()` (out-degrees).
+    graph: CooGraph,
+    /// Per-PE DRAM segments awaiting channel space.
+    seg_q: Vec<VecDeque<DramRequest>>,
+    /// Remaining segments per (pe, tag) logical burst.
+    burst_segments: HashMap<(usize, u64), u32>,
+    now: Cycle,
+}
+
+impl System {
+    /// Partitions `g`, lays it out in memory, and builds the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the destination interval
+    /// exceeds PE BRAM, or the weighted flags of graph and algorithm
+    /// disagree in an unsupported way.
+    pub fn new(g: &CooGraph, partitioner: Partitioner, algo: Algorithm, cfg: SystemConfig) -> Self {
+        cfg.validate();
+        assert!(
+            partitioner.nd() <= cfg.pe.bram_nodes,
+            "destination interval exceeds PE BRAM"
+        );
+        if algo.is_weighted() {
+            assert!(
+                g.is_weighted(),
+                "weighted algorithm requires a weighted graph"
+            );
+        }
+        let parts = partitioner.partition(g);
+        let force_sync = matches!(cfg.execution, ExecutionMode::ForceSynchronous);
+        let init = LayoutInit {
+            vin: algo.initial_vin(g),
+            vconst: algo.vconst(g),
+            synchronous: algo.synchronous() || force_sync,
+        };
+        let (gi, img) = LayoutBuilder::build(&parts, &init);
+        let mem = MemorySystem::new(cfg.dram.clone(), cfg.num_channels());
+        let mut moms = MomsSystem::new(cfg.moms.clone());
+        if cfg.moms_trace_cap > 0 {
+            moms.enable_trace(cfg.moms_trace_cap);
+        }
+        let pes = (0..cfg.num_pes())
+            .map(|_| Pe::new(cfg.pe.clone()))
+            .collect();
+        let sched = Scheduler::new(gi.qs());
+        System {
+            seg_q: vec![VecDeque::new(); cfg.num_pes()],
+            burst_segments: HashMap::new(),
+            graph_nodes: g.num_nodes(),
+            algo,
+            gi,
+            img,
+            mem,
+            moms,
+            pes,
+            sched,
+            graph: g.clone(),
+            now: 0,
+            cfg,
+        }
+    }
+
+    fn make_job(&self, d: usize) -> Job {
+        let d_base = d as u32 * self.gi.nd();
+        let d_len = self.gi.nd().min(self.graph_nodes - d_base);
+        Job {
+            d,
+            d_base,
+            d_len,
+            vin_base: self.gi.node_in_addr(0),
+            vconst_base: self.gi.has_const().then(|| self.gi.node_const_addr(0)),
+            vout_base: self.gi.node_out_addr(0),
+            ptr_base: self.gi.edge_ptr_addr(d, 0),
+            qs: self.gi.qs(),
+            ns: self.gi.ns(),
+            weighted: self.gi.is_weighted(),
+            use_local_src: self.algo.use_local_src() && !self.gi.is_synchronous(),
+            algo: self.algo,
+            num_nodes: self.graph_nodes,
+        }
+    }
+
+    /// Destination intervals that have at least one active, nonempty
+    /// incoming shard under the current active flags.
+    fn active_jobs(&self, active_srcs: &[bool]) -> Vec<usize> {
+        (0..self.gi.qd())
+            .filter(|&d| {
+                (0..self.gi.qs()).any(|s| {
+                    active_srcs[s] && {
+                        let p = self.gi.edge_ptr(&self.img, d, s);
+                        p.edge_count() > 0
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Runs Template 1 to completion and returns the result.
+    pub fn run(&mut self) -> RunResult {
+        let max_iter = self
+            .cfg
+            .max_iterations
+            .unwrap_or_else(|| self.algo.max_iterations(self.graph_nodes));
+        let mut active_srcs = vec![true; self.gi.qs()];
+        let mut iterations = 0u32;
+        let mut edges_total = 0u64;
+
+        while iterations < max_iter {
+            // Publish active flags into the edge pointers (host work).
+            for d in 0..self.gi.qd() {
+                for (s, &active) in active_srcs.iter().enumerate() {
+                    self.gi.set_active(&mut self.img, d, s, active);
+                }
+            }
+            let jobs = self.active_jobs(&active_srcs);
+            if jobs.is_empty() {
+                break;
+            }
+            self.sched.begin_iteration(jobs.iter().copied());
+            edges_total += self.run_iteration();
+            iterations += 1;
+
+            let cont = self.sched.any_update || self.algo.always_active();
+            if !cont {
+                break;
+            }
+            active_srcs = if self.algo.always_active() {
+                vec![true; self.gi.qs()]
+            } else {
+                self.sched.active_srcs_next.clone()
+            };
+            if self.gi.is_synchronous() && iterations < max_iter {
+                // Intervals skipped this iteration never wrote V_out;
+                // carry their current values across the swap so the next
+                // iteration reads up-to-date data (host-side copy, like
+                // the inter-iteration pointer maintenance).
+                let scheduled: std::collections::HashSet<usize> = jobs.iter().copied().collect();
+                for d in 0..self.gi.qd() {
+                    if scheduled.contains(&d) {
+                        continue;
+                    }
+                    let base = d as u32 * self.gi.nd();
+                    let len = self.gi.nd().min(self.graph_nodes - base);
+                    for i in base..base + len {
+                        let v = self.img.read_u32(self.gi.node_in_addr(i));
+                        self.img.write_u32(self.gi.node_out_addr(i), v);
+                    }
+                }
+                self.gi.swap_io();
+            }
+        }
+
+        let raw = self.gi.read_out_values(&self.img);
+        let values = self.algo.finalize(&self.graph, &raw);
+        let mut stats = Stats::new();
+        for pe in &self.pes {
+            stats.merge(pe.stats());
+        }
+        stats.merge(&self.moms.stats());
+        stats.merge(&self.mem.stats());
+        RunResult {
+            cycles: self.now,
+            iterations,
+            edges_processed: edges_total,
+            values,
+            cache_hit_rate: self.moms.cache_hit_rate(),
+            moms_trace: self.moms.take_trace(),
+            stats,
+        }
+    }
+
+    /// Runs one iteration to completion; returns edges processed.
+    fn run_iteration(&mut self) -> u64 {
+        let mut edges = 0u64;
+        let safety_limit = self.now + 2_000_000_000;
+        loop {
+            self.now += 1;
+            let now = self.now;
+
+            // 1. Idle PEs pull jobs.
+            for i in 0..self.pes.len() {
+                if self.pes[i].is_idle() {
+                    if let Some(d) = self.sched.pull() {
+                        let job = self.make_job(d);
+                        self.pes[i].start_job(job);
+                    }
+                }
+            }
+
+            // 2. Tick PEs (they talk to the MOMS and the image).
+            for i in 0..self.pes.len() {
+                self.pes[i].tick(now, &mut self.img, &mut self.moms, i);
+                // Collect results.
+                if let Some(r) = self.pes[i].take_result() {
+                    edges += r.edges;
+                    self.sched.complete(
+                        r.d,
+                        r.updated,
+                        self.gi.nd(),
+                        self.gi.ns(),
+                        self.graph_nodes,
+                    );
+                }
+            }
+
+            // 3. Move PE bursts into per-channel queues (split at the
+            //    interleave boundary) and issue what fits.
+            for i in 0..self.pes.len() {
+                while let Some(req) = self.pes[i].pop_dram_request() {
+                    let segs = self.mem.split_burst(req.addr, req.lines);
+                    self.burst_segments.insert((i, req.tag), segs.len() as u32);
+                    for (_, _, lines, gaddr) in segs {
+                        self.seg_q[i].push_back(DramRequest {
+                            id: encode_pe_id(i, req.tag),
+                            addr: gaddr,
+                            lines,
+                            write: req.write,
+                        });
+                    }
+                }
+                while let Some(&seg) = self.seg_q[i].front() {
+                    let (ch, _) = self.mem.route(seg.addr);
+                    if self.mem.can_accept(ch) {
+                        self.mem
+                            .push_request(now, seg)
+                            .unwrap_or_else(|_| unreachable!("checked can_accept"));
+                        self.seg_q[i].pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+
+            // 4. Tick MOMS (it pushes its own line fetches) and DRAM.
+            self.moms.tick(now, &mut self.mem);
+            self.mem.tick(now);
+
+            // 5. Route DRAM completions.
+            for ch in 0..self.mem.num_channels() {
+                while let Some(resp) = self.mem.pop_response(now, ch) {
+                    if MomsSystem::owns_dram_id(resp.id) {
+                        self.moms.dram_response(resp.id, resp.lines);
+                    } else {
+                        let (pe, tag) = decode_pe_id(resp.id);
+                        let left = self
+                            .burst_segments
+                            .get_mut(&(pe, tag))
+                            .expect("segment bookkeeping");
+                        *left -= 1;
+                        if *left == 0 {
+                            self.burst_segments.remove(&(pe, tag));
+                            self.pes[pe].burst_complete(tag, &self.img);
+                        }
+                    }
+                }
+            }
+
+            // 6. Iteration barrier.
+            if self.sched.iteration_done()
+                && self.pes.iter().all(|p| p.is_idle())
+                && self.moms.is_idle()
+                && self.mem.is_idle()
+                && self.seg_q.iter().all(|q| q.is_empty())
+            {
+                break;
+            }
+            assert!(
+                self.now < safety_limit,
+                "iteration did not converge within the cycle safety limit"
+            );
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algos::golden;
+    use graph::GraphSpec;
+
+    fn small_system(g: &CooGraph, algo: Algorithm) -> System {
+        System::new(g, Partitioner::new(256, 256), algo, SystemConfig::small())
+    }
+
+    #[test]
+    fn bfs_matches_golden_exactly() {
+        let g = GraphSpec::rmat(8, 4).build(11);
+        let algo = Algorithm::bfs(0);
+        let result = small_system(&g, algo).run();
+        assert_eq!(result.values, golden::run(&algo, &g));
+        assert!(result.cycles > 0);
+        assert!(result.edges_processed > 0);
+    }
+
+    #[test]
+    fn scc_matches_golden_exactly() {
+        let g = GraphSpec::rmat(8, 6).build(13);
+        let algo = Algorithm::Scc;
+        let result = small_system(&g, algo).run();
+        assert_eq!(result.values, golden::run(&algo, &g));
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        let g = GraphSpec::rmat(8, 6)
+            .build(17)
+            .with_random_weights(0, 255, 3);
+        let algo = Algorithm::sssp(0);
+        let result = small_system(&g, algo).run();
+        assert_eq!(result.values, golden::dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn pagerank_matches_golden_within_fp_tolerance() {
+        let g = GraphSpec::rmat(8, 4).build(19);
+        let algo = Algorithm::pagerank();
+        let result = small_system(&g, algo).run();
+        let want = golden::run(&algo, &g);
+        assert_eq!(
+            golden::pagerank_mismatch(&result.values, &want, 1e-3),
+            None,
+            "pagerank diverged from reference"
+        );
+        assert_eq!(result.iterations, 10);
+    }
+
+    #[test]
+    fn async_converges_in_fewer_iterations_than_bound() {
+        let g = GraphSpec::rmat(8, 8).build(23);
+        let algo = Algorithm::Scc;
+        let result = small_system(&g, algo).run();
+        assert!(
+            result.iterations < g.num_nodes(),
+            "convergence detection failed: {} iterations",
+            result.iterations
+        );
+    }
+
+    #[test]
+    fn pagerank_with_multi_chunk_intervals() {
+        // Destination intervals larger than one 32-beat init burst force
+        // the chunked vin/vconst sequence (regression: the const-burst
+        // bookkeeping must consume its pending chunk exactly once).
+        let g = GraphSpec::rmat(12, 4).build(97);
+        let algo = Algorithm::pagerank();
+        let mut cfg = SystemConfig::small();
+        cfg.pe.bram_nodes = 2048;
+        let result = System::new(&g, Partitioner::new(2048, 2048), algo, cfg).run();
+        let want = golden::run(&algo, &g);
+        assert_eq!(golden::pagerank_mismatch(&result.values, &want, 1e-3), None);
+    }
+
+    #[test]
+    fn forced_sync_matches_golden_and_takes_more_iterations() {
+        let g = GraphSpec::rmat(9, 6)
+            .build(83)
+            .with_random_weights(0, 255, 7);
+        let algo = Algorithm::sssp(0);
+
+        let async_result = small_system(&g, algo).run();
+
+        let mut cfg = SystemConfig::small();
+        cfg.execution = crate::config::ExecutionMode::ForceSynchronous;
+        let mut sys = System::new(&g, Partitioner::new(256, 256), algo, cfg);
+        let sync_result = sys.run();
+
+        let (want, golden_iters) = golden::run_forced_sync(&algo, &g);
+        assert_eq!(sync_result.values, want);
+        assert_eq!(sync_result.values, async_result.values, "same fixpoint");
+        assert!(
+            sync_result.iterations >= async_result.iterations,
+            "sync {} < async {} iterations",
+            sync_result.iterations,
+            async_result.iterations
+        );
+        // The accelerator's interval-level convergence detection may take
+        // a couple of extra confirmation sweeps vs the golden's global
+        // check, but not wildly more.
+        assert!(sync_result.iterations <= golden_iters + 3);
+    }
+
+    #[test]
+    fn pagerank_incurs_raw_stalls_on_hot_destinations() {
+        // A star graph funnels every edge into one destination: the
+        // 4-cycle floating-point gather pipeline must stall on RAW hazards
+        // (§V-B: "PageRank is throttled by RAW stalls").
+        let n = 512u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (i, 0)).collect();
+        let g = CooGraph::from_edges(n, edges);
+        let mut cfg = SystemConfig::small();
+        cfg.max_iterations = Some(1);
+        let mut sys = System::new(&g, Partitioner::new(512, 512), Algorithm::pagerank(), cfg);
+        let r = sys.run();
+        assert!(
+            r.stats.get("raw_stalls") > 100,
+            "expected heavy RAW stalling, got {}",
+            r.stats.get("raw_stalls")
+        );
+        // SCC's combinational gather never stalls on the same graph.
+        let mut sys = System::new(
+            &g,
+            Partitioner::new(512, 512),
+            Algorithm::Scc,
+            SystemConfig::small(),
+        );
+        let r2 = sys.run();
+        assert_eq!(r2.stats.get("raw_stalls"), 0);
+    }
+
+    #[test]
+    fn recorded_trace_replays_on_other_configs() {
+        let g = GraphSpec::rmat(9, 8).build(101);
+        let mut cfg = SystemConfig::small();
+        cfg.moms_trace_cap = 100_000;
+        let mut sys = System::new(&g, Partitioner::new(256, 256), Algorithm::Scc, cfg);
+        let result = sys.run();
+        assert!(!result.moms_trace.is_empty(), "trace recorded");
+        assert_eq!(
+            result.moms_trace.len() as u64,
+            result.stats.get("moms_reads"),
+            "one trace entry per accepted irregular read"
+        );
+        // Replay the recorded stream against a private-only MOMS.
+        let replay_cfg = moms::MomsSystemConfig {
+            topology: moms::Topology::Private,
+            ..SystemConfig::small().moms
+        };
+        let replay = moms::harness::TraceRun::new(replay_cfg).execute_tagged(&result.moms_trace);
+        assert_eq!(replay.responses, result.moms_trace.len());
+        assert!(replay.lines_per_request() > 0.0);
+    }
+
+    #[test]
+    fn gteps_accounting_is_consistent() {
+        let g = GraphSpec::rmat(8, 4).build(29);
+        let result = small_system(&g, Algorithm::bfs(0)).run();
+        let epc = result.edges_per_cycle();
+        assert!(epc > 0.0);
+        assert!((result.gteps(200.0) - epc * 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! Graph algorithms expressed in the accelerator's programming model
+//! (Template 1), plus golden reference executors.
+//!
+//! Each algorithm is a parameterisation of the `init()` / `gather()` /
+//! `apply()` template with control flags, exactly as in Table I of the
+//! paper. The PE model in the `accel` crate calls these functions on
+//! 32-bit raw values (floats travel as `f32::to_bits` patterns), so the
+//! same code defines both the simulated hardware datapath and the golden
+//! software executor used to validate it.
+//!
+//! Implemented algorithms: PageRank (synchronous, f32, 4-cycle gather as
+//! in the HLS implementation), SCC-style min-label propagation, SSSP
+//! (weighted), plus BFS and WCC as extensions.
+//!
+//! # Example
+//!
+//! ```
+//! use algos::{Algorithm, golden};
+//! use graph::GraphSpec;
+//!
+//! let g = GraphSpec::rmat(8, 4).build(3);
+//! let algo = Algorithm::sssp(0);
+//! let dist = golden::run(&algo, &g);
+//! assert_eq!(dist[0], 0); // source distance
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod golden;
+pub mod spec;
+
+pub use spec::{Algorithm, GatherOutcome};

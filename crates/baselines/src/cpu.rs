@@ -1,0 +1,230 @@
+//! Multithreaded CPU reference implementations.
+//!
+//! Stand-ins for the paper's Ligra/GraphMat baselines (Fig. 16): the same
+//! three algorithms, shared-memory parallel, run on the host CPU over the
+//! same graphs as the simulated accelerator. Values agree with
+//! `algos::golden` (exactly for the monotone algorithms, to fp tolerance
+//! for PageRank), so the comparison measures performance, not semantics.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
+
+use algos::spec::UNREACHED;
+use algos::Algorithm;
+use graph::CooGraph;
+
+/// Outcome of a timed CPU run.
+#[derive(Debug, Clone)]
+pub struct CpuRun {
+    /// Final per-node values (same encoding as the accelerator).
+    pub values: Vec<u32>,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Edges processed (edges × iterations actually executed).
+    pub edges_processed: u64,
+}
+
+impl CpuRun {
+    /// Throughput in GTEPS.
+    pub fn gteps(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.edges_processed as f64 / self.seconds / 1e9
+        }
+    }
+}
+
+/// Runs `algo` on `g` with `threads` worker threads and times it.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or the algorithm/graph combination is
+/// unsupported (weighted algorithm on an unweighted graph).
+pub fn run(algo: &Algorithm, g: &CooGraph, threads: usize) -> CpuRun {
+    assert!(threads > 0, "at least one thread");
+    match algo {
+        Algorithm::PageRank { iterations } => pagerank(g, *iterations, threads),
+        Algorithm::Scc | Algorithm::Wcc => min_propagate(g, algo, threads),
+        Algorithm::Sssp { .. } | Algorithm::Bfs { .. } => min_propagate(g, algo, threads),
+    }
+}
+
+fn chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let step = len.div_ceil(parts).max(1);
+    (0..len)
+        .step_by(step)
+        .map(|lo| (lo, (lo + step).min(len)))
+        .collect()
+}
+
+fn pagerank(g: &CooGraph, iterations: u32, threads: usize) -> CpuRun {
+    let n = g.num_nodes() as usize;
+    let od = g.out_degrees();
+    let algo = Algorithm::PageRank { iterations };
+    let start = Instant::now();
+
+    // Normalized scores, as the accelerator stores them.
+    let mut x: Vec<f32> = algo
+        .initial_vin(g)
+        .iter()
+        .map(|&b| f32::from_bits(b))
+        .collect();
+    let ranges = chunks(g.num_edges(), threads);
+    for _ in 0..iterations {
+        // Per-thread partial sums, reduced after the join.
+        let partials: Vec<Vec<f32>> = crossbeam::scope(|scope| {
+            let x = &x;
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move |_| {
+                        let mut sum = vec![0f32; n];
+                        for i in lo..hi {
+                            let (s, d, _) = g.edge(i);
+                            sum[d as usize] += x[s as usize];
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+        let base = 0.15f32 / n as f32;
+        for i in 0..n {
+            let sum: f32 = partials.iter().map(|p| p[i]).sum();
+            let pr = base + 0.85 * sum;
+            x[i] = if od[i] == 0 { pr } else { pr / od[i] as f32 };
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let raw: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+    CpuRun {
+        values: algo.finalize(g, &raw),
+        seconds,
+        edges_processed: g.num_edges() as u64 * iterations as u64,
+    }
+}
+
+fn min_propagate(g: &CooGraph, algo: &Algorithm, threads: usize) -> CpuRun {
+    let n = g.num_nodes() as usize;
+    if algo.is_weighted() {
+        assert!(g.is_weighted(), "weighted algorithm needs weights");
+    }
+    let start = Instant::now();
+    let v: Vec<AtomicU32> = algo
+        .initial_vin(g)
+        .into_iter()
+        .map(AtomicU32::new)
+        .collect();
+    let ranges = chunks(g.num_edges(), threads);
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        let changed = AtomicBool::new(false);
+        crossbeam::scope(|scope| {
+            for &(lo, hi) in &ranges {
+                let v = &v;
+                let changed = &changed;
+                scope.spawn(move |_| {
+                    for i in lo..hi {
+                        let (s, d, w) = g.edge(i);
+                        let u = v[s as usize].load(Ordering::Relaxed);
+                        if u == UNREACHED {
+                            continue;
+                        }
+                        let cand = match algo {
+                            Algorithm::Scc | Algorithm::Wcc => u,
+                            Algorithm::Sssp { .. } => u.saturating_add(w),
+                            Algorithm::Bfs { .. } => u.saturating_add(1),
+                            Algorithm::PageRank { .. } => unreachable!("handled above"),
+                        };
+                        // Atomic min.
+                        let mut cur = v[d as usize].load(Ordering::Relaxed);
+                        while cand < cur {
+                            match v[d as usize].compare_exchange_weak(
+                                cur,
+                                cand,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => {
+                                    changed.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(actual) => cur = actual,
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+        assert!(rounds <= n as u64 + 1, "propagation failed to converge");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    CpuRun {
+        values: v.into_iter().map(|a| a.into_inner()).collect(),
+        seconds,
+        edges_processed: g.num_edges() as u64 * rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algos::golden;
+    use graph::GraphSpec;
+
+    #[test]
+    fn cpu_scc_matches_golden() {
+        let g = GraphSpec::rmat(10, 8).build(7);
+        let algo = Algorithm::Scc;
+        let got = run(&algo, &g, 4);
+        assert_eq!(got.values, golden::run(&algo, &g));
+        assert!(got.seconds >= 0.0);
+    }
+
+    #[test]
+    fn cpu_sssp_matches_dijkstra() {
+        let g = GraphSpec::rmat(9, 8)
+            .build(9)
+            .with_random_weights(0, 255, 2);
+        let algo = Algorithm::sssp(0);
+        let got = run(&algo, &g, 4);
+        assert_eq!(got.values, golden::dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn cpu_pagerank_matches_golden_within_tolerance() {
+        let g = GraphSpec::rmat(9, 6).build(11);
+        let algo = Algorithm::pagerank();
+        let got = run(&algo, &g, 4);
+        let want = golden::run(&algo, &g);
+        assert_eq!(golden::pagerank_mismatch(&got.values, &want, 1e-3), None);
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread_for_monotone() {
+        let g = GraphSpec::rmat(9, 8).build(13);
+        let algo = Algorithm::bfs(0);
+        let a = run(&algo, &g, 1);
+        let b = run(&algo, &g, 8);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn gteps_reporting() {
+        let g = GraphSpec::rmat(8, 4).build(15);
+        let got = run(&Algorithm::Scc, &g, 2);
+        assert!(got.gteps() > 0.0);
+        assert!(got.edges_processed >= g.num_edges() as u64);
+    }
+}

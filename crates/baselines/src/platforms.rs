@@ -1,0 +1,96 @@
+//! Platform bandwidth/power table (Table IV) and efficiency metrics.
+
+/// A hardware platform from Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// This work / FabGraph: AWS f1 FPGA, 4× DDR4.
+    Fpga,
+    /// Gunrock: NVIDIA Tesla V100 with HBM2 (power is board TDP, an
+    /// overestimate per the paper's footnote).
+    Gpu,
+    /// Ligra/GraphMat: dual-socket Xeon E5-2680 v3.
+    Cpu,
+}
+
+impl Platform {
+    /// External memory bandwidth in GB/s (Table IV).
+    pub fn bandwidth_gbs(self) -> f64 {
+        match self {
+            Platform::Fpga => 64.0,
+            Platform::Gpu => 900.0,
+            Platform::Cpu => 233.0,
+        }
+    }
+
+    /// Power in watts (Table IV; GPU is the full-board TDP).
+    pub fn power_w(self) -> f64 {
+        match self {
+            Platform::Fpga => 23.0,
+            Platform::Gpu => 300.0,
+            Platform::Cpu => 224.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Fpga => "FPGA (this work / FabGraph)",
+            Platform::Gpu => "GPU (Gunrock, V100)",
+            Platform::Cpu => "CPU (Ligra/GraphMat, 2×E5-2680v3)",
+        }
+    }
+}
+
+/// Bandwidth efficiency: GTEPS per GB/s of external bandwidth.
+pub fn bandwidth_efficiency(gteps: f64, platform: Platform) -> f64 {
+    gteps / platform.bandwidth_gbs()
+}
+
+/// Power efficiency: GTEPS per watt.
+pub fn power_efficiency(gteps: f64, platform: Platform) -> f64 {
+    gteps / platform.power_w()
+}
+
+/// Relative efficiency of `(a_gteps, a)` over `(b_gteps, b)` in bandwidth
+/// terms — the ratio the paper's "1.1–5.8× more bandwidth-efficient"
+/// claims use.
+pub fn bandwidth_efficiency_ratio(a_gteps: f64, a: Platform, b_gteps: f64, b: Platform) -> f64 {
+    bandwidth_efficiency(a_gteps, a) / bandwidth_efficiency(b_gteps, b)
+}
+
+/// Relative power efficiency.
+pub fn power_efficiency_ratio(a_gteps: f64, a: Platform, b_gteps: f64, b: Platform) -> f64 {
+    power_efficiency(a_gteps, a) / power_efficiency(b_gteps, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_values() {
+        assert_eq!(Platform::Fpga.bandwidth_gbs(), 64.0);
+        assert_eq!(Platform::Fpga.power_w(), 23.0);
+        assert_eq!(Platform::Gpu.bandwidth_gbs(), 900.0);
+        assert_eq!(Platform::Gpu.power_w(), 300.0);
+        assert_eq!(Platform::Cpu.bandwidth_gbs(), 233.0);
+        assert_eq!(Platform::Cpu.power_w(), 224.0);
+    }
+
+    #[test]
+    fn efficiency_ratios_behave() {
+        // Equal raw throughput: the FPGA is 233/64 more bandwidth
+        // efficient and 224/23 more power efficient than the CPU.
+        let r = bandwidth_efficiency_ratio(1.0, Platform::Fpga, 1.0, Platform::Cpu);
+        assert!((r - 233.0 / 64.0).abs() < 1e-9);
+        let p = power_efficiency_ratio(1.0, Platform::Fpga, 1.0, Platform::Cpu);
+        assert!((p - 224.0 / 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_are_nonempty() {
+        for p in [Platform::Fpga, Platform::Gpu, Platform::Cpu] {
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Analytic FPGA resource and frequency model (Fig. 17, §V-G).
+//!
+//! Vivado reports are replaced by per-component cost functions calibrated
+//! against the paper's observations: designs are limited mostly by LUTs
+//! (interconnect) and BRAM, DSPs are underutilised even for floating-point
+//! PageRank, per-SLR LUT utilisation peaks near 90%, and clocks land
+//! between 196 and 227 MHz (the exploration discards designs under
+//! 185 MHz).
+
+use moms::{MomsSystemConfig, Topology};
+
+/// Absolute resource counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceUsage {
+    /// Six-input LUTs.
+    pub luts: f64,
+    /// Flip-flops.
+    pub ffs: f64,
+    /// BRAM36 blocks.
+    pub bram36: f64,
+    /// UltraRAM blocks.
+    pub uram: f64,
+    /// DSP48 slices.
+    pub dsps: f64,
+}
+
+impl ResourceUsage {
+    fn add(&mut self, o: ResourceUsage) {
+        self.luts += o.luts;
+        self.ffs += o.ffs;
+        self.bram36 += o.bram36;
+        self.uram += o.uram;
+        self.dsps += o.dsps;
+    }
+
+    /// Utilisation fractions against the VU9P resources left after the AWS
+    /// shell (§V-A reserves 25–35% of two SLRs; we model a flat 25%).
+    pub fn utilisation(&self) -> ResourceUsage {
+        let avail = vu9p_after_shell();
+        ResourceUsage {
+            luts: self.luts / avail.luts,
+            ffs: self.ffs / avail.ffs,
+            bram36: self.bram36 / avail.bram36,
+            uram: self.uram / avail.uram,
+            dsps: self.dsps / avail.dsps,
+        }
+    }
+
+    /// Largest utilisation fraction across resource classes.
+    pub fn max_utilisation(&self) -> f64 {
+        let u = self.utilisation();
+        u.luts.max(u.ffs).max(u.bram36).max(u.uram).max(u.dsps)
+    }
+}
+
+/// VU9P totals minus the 25% shell reservation.
+fn vu9p_after_shell() -> ResourceUsage {
+    ResourceUsage {
+        luts: 1_182_000.0 * 0.75,
+        ffs: 2_364_000.0 * 0.75,
+        bram36: 2_160.0 * 0.75,
+        uram: 960.0 * 0.75,
+        dsps: 6_840.0 * 0.75,
+    }
+}
+
+/// Resource/frequency estimator for a full design point.
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    /// MOMS configuration of the design.
+    pub moms: MomsSystemConfig,
+    /// `true` for the floating-point PageRank PEs (uses DSPs, HLS gather).
+    pub floating_point: bool,
+    /// Destination-buffer nodes per PE and bytes per node.
+    pub pe_buffer_bytes: u64,
+}
+
+impl ResourceModel {
+    /// Cost of one PE: control, DMA, gather pipeline, URAM buffer.
+    fn pe_cost(&self) -> ResourceUsage {
+        ResourceUsage {
+            luts: if self.floating_point {
+                9_000.0
+            } else {
+                6_500.0
+            },
+            ffs: if self.floating_point {
+                14_000.0
+            } else {
+                9_000.0
+            },
+            bram36: 8.0, // edge queue, state memory, free-ID queue
+            uram: (self.pe_buffer_bytes as f64 / (288.0 * 1024.0 / 8.0)).ceil(),
+            dsps: if self.floating_point { 8.0 } else { 0.0 },
+        }
+    }
+
+    /// Cost of one MOMS bank given its on-chip memory bits.
+    fn bank_cost(bits: u64) -> ResourceUsage {
+        ResourceUsage {
+            luts: 7_000.0,
+            ffs: 9_000.0,
+            // MSHRs in BRAM, subentries/cache in URAM (§V-B); split the
+            // bits 1:3 between the two.
+            bram36: (bits as f64 * 0.25 / 36_864.0).ceil(),
+            uram: (bits as f64 * 0.75 / 294_912.0).ceil(),
+            dsps: 0.0,
+        }
+    }
+
+    /// Interconnect cost: crossbar ports grow with PEs × banks, plus the
+    /// per-channel burst interconnect.
+    fn interconnect_cost(&self) -> ResourceUsage {
+        let pes = self.moms.num_pes as f64;
+        let banks = match self.moms.topology {
+            Topology::Private => 0.0,
+            _ => self.moms.shared_banks as f64,
+        };
+        let channels = self.moms.num_channels as f64;
+        ResourceUsage {
+            luts: 1_800.0 * pes * banks.max(1.0).sqrt() + 14_000.0 * channels + 3_000.0 * pes,
+            ffs: 2_400.0 * pes * banks.max(1.0).sqrt() + 18_000.0 * channels + 4_000.0 * pes,
+            bram36: 2.0 * channels,
+            uram: 0.0,
+            dsps: 0.0,
+        }
+    }
+
+    /// Total resource usage of the design.
+    pub fn total(&self) -> ResourceUsage {
+        let mut t = ResourceUsage::default();
+        for _ in 0..self.moms.num_pes {
+            t.add(self.pe_cost());
+        }
+        if !matches!(self.moms.topology, Topology::Shared) {
+            for _ in 0..self.moms.num_pes {
+                t.add(Self::bank_cost(self.moms.private.memory_bits()));
+            }
+        }
+        if !matches!(self.moms.topology, Topology::Private) {
+            for _ in 0..self.moms.shared_banks {
+                t.add(Self::bank_cost(self.moms.shared.memory_bits()));
+            }
+        }
+        t.add(self.interconnect_cost());
+        t
+    }
+
+    /// Estimated clock in MHz: 250 MHz target degraded by congestion
+    /// (utilisation) and SLR-crossing pressure; clamped to the paper's
+    /// observed band.
+    pub fn frequency_mhz(&self) -> f64 {
+        let util = self.total().max_utilisation().min(1.2);
+        // Crossing pressure: how many PEs sit on a different SLR than the
+        // central crossbar.
+        let crossings =
+            self.moms.pe_slr.iter().filter(|&&s| s != 1).count() as f64 / self.moms.num_pes as f64;
+        let f = 250.0 - 45.0 * util.max(0.3) - 25.0 * crossings;
+        f.clamp(150.0, 250.0)
+    }
+
+    /// `true` when the design would be discarded by the exploration
+    /// (< 185 MHz, §V-B) or does not fit.
+    pub fn feasible(&self) -> bool {
+        self.frequency_mhz() >= 185.0 && self.total().max_utilisation() <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like(fp: bool) -> ResourceModel {
+        ResourceModel {
+            moms: MomsSystemConfig::paper_two_level_16_16(),
+            floating_point: fp,
+            pe_buffer_bytes: 32_768 * if fp { 8 } else { 4 },
+        }
+    }
+
+    #[test]
+    fn paper_scale_design_fits_and_clocks_in_band() {
+        let m = paper_like(true);
+        assert!(m.feasible(), "16/16 two-level must be feasible");
+        let f = m.frequency_mhz();
+        assert!(
+            (185.0..=235.0).contains(&f),
+            "frequency {f} outside the paper's observed band"
+        );
+    }
+
+    #[test]
+    fn luts_dominate_over_dsps() {
+        // §V-G: designs are mostly limited by LUTs/BRAM; DSPs are
+        // underutilised even in floating point.
+        let u = paper_like(true).total().utilisation();
+        assert!(u.dsps < 0.10, "DSP utilisation {} too high", u.dsps);
+        assert!(u.luts > u.dsps * 3.0);
+    }
+
+    #[test]
+    fn more_pes_and_banks_cost_more() {
+        let small = paper_like(false);
+        let mut big_cfg = MomsSystemConfig::paper_two_level_16_16();
+        big_cfg.num_pes = 24;
+        big_cfg.pe_slr = moms::system::default_pe_slrs(24);
+        big_cfg.shared_banks = 32;
+        let big = ResourceModel {
+            moms: big_cfg,
+            floating_point: false,
+            pe_buffer_bytes: 32_768 * 4,
+        };
+        assert!(big.total().luts > small.total().luts);
+        assert!(big.frequency_mhz() <= small.frequency_mhz());
+    }
+
+    #[test]
+    fn infeasible_when_overprovisioned() {
+        let mut cfg = MomsSystemConfig::paper_two_level_16_16();
+        cfg.num_pes = 200;
+        cfg.pe_slr = moms::system::default_pe_slrs(200);
+        cfg.shared_banks = 64;
+        let m = ResourceModel {
+            moms: cfg,
+            floating_point: true,
+            pe_buffer_bytes: 32_768 * 8,
+        };
+        assert!(!m.feasible());
+    }
+}

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the DRAM channel model's *simulation speed*: host
+//! time to drain a fixed workload (burst streaming vs isolated single-line
+//! reads, one vs four channels). The modelled-bandwidth behaviour itself
+//! (bursts ≈ 2x singles, §V-A) is asserted by the dram crate's unit tests;
+//! these numbers track how fast the simulator executes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dram::{DramConfig, DramRequest, MemorySystem};
+
+fn drain(mem: &mut MemorySystem, reqs: Vec<DramRequest>) {
+    let total = reqs.len();
+    let mut pending = reqs.into_iter();
+    let mut next = pending.next();
+    let mut done = 0usize;
+    let mut now = 0u64;
+    while done < total {
+        while let Some(r) = next {
+            if mem.push_request(now, r).is_ok() {
+                next = pending.next();
+            } else {
+                next = Some(r);
+                break;
+            }
+        }
+        mem.tick(now);
+        for ch in 0..mem.num_channels() {
+            while mem.pop_response(now, ch).is_some() {
+                done += 1;
+            }
+        }
+        now += 1;
+        assert!(now < 10_000_000);
+    }
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    let lines = 8192u64;
+    group.throughput(Throughput::Bytes(lines * 64));
+
+    group.bench_function("burst_32beat_1ch", |b| {
+        b.iter_batched(
+            || {
+                let mem = MemorySystem::new(DramConfig::default(), 1);
+                let reqs: Vec<_> = (0..lines / 32)
+                    .map(|i| DramRequest::read(i, i * 2048, 32))
+                    .collect();
+                (mem, reqs)
+            },
+            |(mut mem, reqs)| drain(&mut mem, reqs),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("single_line_1ch", |b| {
+        b.iter_batched(
+            || {
+                let mem = MemorySystem::new(DramConfig::default(), 1);
+                let reqs: Vec<_> = (0..lines)
+                    .map(|i| DramRequest::read(i, (i * 8_191) % (1 << 24) / 64 * 64, 1))
+                    .collect();
+                (mem, reqs)
+            },
+            |(mut mem, reqs)| drain(&mut mem, reqs),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("single_line_4ch", |b| {
+        b.iter_batched(
+            || {
+                let mem = MemorySystem::new(DramConfig::default(), 4);
+                let reqs: Vec<_> = (0..lines)
+                    .map(|i| DramRequest::read(i, (i * 8_191) % (1 << 24) / 64 * 64, 1))
+                    .collect();
+                (mem, reqs)
+            },
+            |(mut mem, reqs)| drain(&mut mem, reqs),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dram
+}
+criterion_main!(benches);

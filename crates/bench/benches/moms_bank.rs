@@ -1,0 +1,95 @@
+//! Microbenchmarks of the MOMS bank pipeline: simulation throughput of
+//! hit-dominated, merge-dominated, and miss-dominated request streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use moms::{MomsBank, MomsConfig, MomsReq};
+use simkit::SplitMix64;
+
+fn drive_bank(bank: &mut MomsBank, reqs: &[MomsReq], mem_latency: u64) {
+    let mut pending = reqs.iter().copied();
+    let mut next = pending.next();
+    let mut in_flight: std::collections::VecDeque<(u64, u64)> = Default::default();
+    let mut received = 0usize;
+    let mut now = 0u64;
+    while received < reqs.len() {
+        if let Some(r) = next {
+            if bank.try_request(r) {
+                next = pending.next();
+            }
+        }
+        bank.tick(now);
+        while let Some((line, count)) = bank.pop_mem_request() {
+            debug_assert_eq!(count, 1);
+            in_flight.push_back((now + mem_latency, line));
+        }
+        while let Some(&(ready, line)) = in_flight.front() {
+            if ready <= now && bank.can_accept_mem_response() && bank.push_mem_response(line) {
+                in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        while bank.pop_response().is_some() {
+            received += 1;
+        }
+        now += 1;
+        assert!(now < 10_000_000);
+    }
+}
+
+fn stream(count: usize, lines: u64, seed: u64) -> Vec<MomsReq> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|i| {
+            let u = rng.next_f64();
+            MomsReq {
+                line: ((u * u * lines as f64) as u64).min(lines - 1),
+                word: (i % 16) as u8,
+                id: (i % 65536) as u32,
+            }
+        })
+        .collect()
+}
+
+fn bench_bank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moms_bank");
+    let n = 20_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+
+    for (name, lines, cfg) in [
+        (
+            "merge_heavy_cacheless",
+            64u64,
+            MomsConfig::paper_shared_bank().scaled(1, 8).without_cache(),
+        ),
+        (
+            "miss_heavy_cacheless",
+            16_384,
+            MomsConfig::paper_shared_bank().scaled(1, 8).without_cache(),
+        ),
+        (
+            "hit_heavy_cached",
+            64,
+            MomsConfig::paper_shared_bank().scaled(1, 8),
+        ),
+        ("traditional", 512, MomsConfig::traditional(None)),
+    ] {
+        let reqs = stream(n, lines, 42);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || MomsBank::new(cfg.clone()),
+                |mut bank| drive_bank(&mut bank, &reqs, 45),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bank
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Internal diagnostic tool: drives synthetic request streams through
+//! MOMS configurations and dumps the full counter set. Used to calibrate
+//! the behaviour tests and EXPERIMENTS.md commentary.
+
+use dram::{DramConfig, MemorySystem};
+use moms::{CacheConfig, MomsConfig, MomsReq, MomsSystem, MomsSystemConfig, Topology};
+use simkit::SplitMix64;
+
+fn moms_config(topology: Topology, pes: usize, channels: usize) -> MomsSystemConfig {
+    MomsSystemConfig {
+        topology,
+        num_pes: pes,
+        num_channels: channels,
+        shared_banks: 4 * channels,
+        shared: MomsConfig::paper_shared_bank()
+            .scaled(1, 32)
+            .without_cache(),
+        private: MomsConfig::paper_private_bank(false).scaled(1, 32),
+        pe_slr: moms::system::default_pe_slrs(pes),
+        channel_slr: moms::system::default_channel_slrs(channels),
+        crossing_latency: 4,
+        base_net_latency: 2,
+        resp_link_cycles_per_line: 8,
+    }
+}
+
+#[allow(dead_code)] // kept for ad-hoc comparisons against the shard shape
+fn skewed_stream(count: usize, lines: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let u = rng.next_f64();
+            ((u * u * lines as f64) as u64).min(lines - 1)
+        })
+        .collect()
+}
+
+/// Shard-shaped stream: like edge streaming, source reads stay within a
+/// window of `window_lines` (one source interval) for `window_len`
+/// requests, then move to the next window.
+fn shard_stream(
+    count: usize,
+    window_lines: u64,
+    window_len: usize,
+    skew: i32,
+    seed: u64,
+) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|i| {
+            let base = (i / window_len) as u64 * window_lines;
+            let u = rng.next_f64().powi(skew);
+            base + ((u * window_lines as f64) as u64).min(window_lines - 1)
+        })
+        .collect()
+}
+
+fn drive(cfg: MomsSystemConfig, dram: DramConfig, stream: &[u64], label: &str) {
+    let pes = cfg.num_pes;
+    let channels = cfg.num_channels;
+    let mut sys = MomsSystem::new(cfg);
+    let mut mem = MemorySystem::new(dram, channels);
+    let per_pe: Vec<Vec<u64>> = (0..pes)
+        .map(|p| stream.iter().skip(p).step_by(pes).copied().collect())
+        .collect();
+    let mut next = vec![0usize; pes];
+    let mut received = 0usize;
+    let mut now = 0u64;
+    while received < stream.len() {
+        for p in 0..pes {
+            if next[p] < per_pe[p].len() {
+                let line = per_pe[p][next[p]];
+                if sys.try_request(
+                    p,
+                    MomsReq {
+                        line,
+                        word: (line % 16) as u8,
+                        id: (next[p] % 65536) as u32,
+                    },
+                ) {
+                    next[p] += 1;
+                }
+            }
+        }
+        sys.tick(now, &mut mem);
+        mem.tick(now);
+        for ch in 0..mem.num_channels() {
+            while let Some(r) = mem.pop_response(now, ch) {
+                sys.dram_response(r.id, r.lines);
+            }
+        }
+        for p in 0..pes {
+            while sys.pop_response(p).is_some() {
+                received += 1;
+            }
+        }
+        now += 1;
+        if now > 50_000_000 {
+            println!("{label}: STUCK at {received}/{}", stream.len());
+            return;
+        }
+    }
+    let s = sys.stats();
+    println!(
+        "=== {label}: {now} cycles, {:.3} req/cycle ===",
+        stream.len() as f64 / now as f64
+    );
+    for (k, v) in s.iter() {
+        println!("  {k}: {v}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("trad");
+    match which {
+        "trad" => {
+            let stream = shard_stream(40_000, 256, 4000, 2, 3);
+            drive(
+                moms_config(Topology::TwoLevel, 4, 2),
+                DramConfig::default(),
+                &stream,
+                "two-level MOMS",
+            );
+            let mut trad = moms_config(Topology::TwoLevel, 4, 2);
+            trad.shared = MomsConfig::traditional(Some(CacheConfig { lines: 32, ways: 1 }));
+            trad.private = MomsConfig::traditional(Some(CacheConfig { lines: 32, ways: 4 }));
+            drive(trad, DramConfig::default(), &stream, "traditional");
+        }
+        "coalesce" => {
+            for ch in [1usize, 2] {
+                let stream = shard_stream(40_000, 128, 4000, 4, 1);
+                drive(
+                    moms_config(Topology::TwoLevel, 4, ch),
+                    DramConfig::default(),
+                    &stream,
+                    &format!("two-level {ch}ch"),
+                );
+            }
+        }
+        "outstanding" => {
+            for lines in [256u64, 512] {
+                let stream = shard_stream(60_000, lines, 6000, 4, 6);
+                drive(
+                    moms_config(Topology::TwoLevel, 16, 1),
+                    DramConfig::default(),
+                    &stream,
+                    &format!("16pe 1ch lines={lines}"),
+                );
+            }
+        }
+        other => eprintln!("unknown diag {other}"),
+    }
+}

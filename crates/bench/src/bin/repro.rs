@@ -1,0 +1,89 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--full] [--shrink N]
+//!
+//! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
+//!              fig16 fig17 ablate all
+//! --full      all 12 benchmarks and all 7 architectures (slow)
+//! --shrink N  extra graph shrink factor (default 4; 1 = largest scale)
+//! ```
+
+use bench::experiments::{self, Scope};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scope = Scope::quick();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scope.full = true,
+            "--shrink" => {
+                i += 1;
+                scope.shrink = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--shrink needs a number"));
+            }
+            s if which.is_none() && !s.starts_with('-') => which = Some(s.to_owned()),
+            s => usage(&format!("unknown argument {s}")),
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| usage("missing experiment name"));
+
+    let run_one = |name: &str| match name {
+        "table1" => print!("{}", experiments::table1::run()),
+        "table2" => print!("{}", experiments::table2::run(scope)),
+        "table3" => print!("{}", experiments::table3::run(scope)),
+        "fig11" => print!("{}", experiments::fig11::run(scope)),
+        "fig12" => print!("{}", experiments::fig12::run(scope)),
+        "fig13" => print!("{}", experiments::fig13::run(scope)),
+        "fig14" => print!("{}", experiments::fig14::run(scope)),
+        "fig15" => print!("{}", experiments::fig15::run(scope)),
+        "fig16" => print!("{}", experiments::fig16::run(scope)),
+        "fig17" => print!("{}", experiments::fig17::run()),
+        "ablate" => print!("{}", experiments::ablate::run()),
+        "sweep" => print!("{}", bench::experiments::sweep::run(scope)),
+        "syncasync" => print!("{}", experiments::syncasync::run(scope)),
+        "paperscale" => print!("{}", experiments::paperscale::run()),
+        "related" => print!("{}", experiments::related_work::run(scope)),
+        other => usage(&format!("unknown experiment {other}")),
+    };
+
+    if which == "all" {
+        for name in [
+            "table1",
+            "table2",
+            "table3",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "ablate",
+            "syncasync",
+            "paperscale",
+            "related",
+        ] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(&which);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|all> \
+         [--full] [--shrink N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,911 @@
+//! One module per table/figure of the paper's evaluation (§V).
+//!
+//! Every `run(scope)` renders a text report with the same rows/series the
+//! paper presents; the `repro` binary prints them and EXPERIMENTS.md
+//! records paper-vs-measured shapes.
+
+use std::fmt::Write as _;
+
+use algos::Algorithm;
+use graph::benchmarks::BenchmarkId;
+use graph::reorder::Preprocess;
+
+use crate::arch::ArchPoint;
+use crate::geomean;
+use crate::runner::{prepare_graph, run_graph, CacheVariant, RunSpec};
+
+/// How much work an experiment invocation does.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// `true`: all 12 benchmarks and all 7 architectures; `false`: the
+    /// quick subsets.
+    pub full: bool,
+    /// Extra graph shrink factor (1 = the default laptop scale).
+    pub shrink: u64,
+}
+
+impl Scope {
+    /// Quick scope used by default and in tests.
+    pub fn quick() -> Self {
+        Scope {
+            full: false,
+            shrink: 4,
+        }
+    }
+
+    /// Benchmarks for this scope.
+    pub fn benches(&self) -> Vec<BenchmarkId> {
+        if self.full {
+            BenchmarkId::ALL.to_vec()
+        } else {
+            BenchmarkId::QUICK.to_vec()
+        }
+    }
+
+    /// Architectures for this scope.
+    pub fn archs(&self) -> Vec<ArchPoint> {
+        if self.full {
+            ArchPoint::ALL.to_vec()
+        } else {
+            ArchPoint::QUICK.to_vec()
+        }
+    }
+
+    /// Algorithms evaluated throughout §V, with iteration caps.
+    pub fn algos(&self) -> Vec<(Algorithm, Option<u32>)> {
+        vec![
+            (Algorithm::pagerank(), Some(2)),
+            (Algorithm::Scc, None),
+            (Algorithm::sssp(0), None),
+        ]
+    }
+}
+
+fn spec_for(arch: ArchPoint, scope: &Scope) -> RunSpec {
+    let mut s = RunSpec::new(arch);
+    s.shrink = scope.shrink;
+    s
+}
+
+/// Table I: algorithm-specific template parameters.
+pub mod table1 {
+    use super::*;
+
+    /// Renders the Table I summary from the live `Algorithm` definitions.
+    pub fn run() -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Table I: algorithm parameters for Template 1 ==");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>8} {:>8} {:>14} {:>14} {:>10}",
+            "algorithm",
+            "node bits",
+            "gatherL",
+            "weighted",
+            "use_local_src",
+            "always_active",
+            "sync"
+        );
+        for a in [Algorithm::pagerank(), Algorithm::Scc, Algorithm::sssp(0)] {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>8} {:>8} {:>14} {:>14} {:>10}",
+                a.name(),
+                a.bram_words() * 32,
+                a.gather_latency(),
+                a.is_weighted(),
+                a.use_local_src(),
+                a.always_active(),
+                a.synchronous()
+            );
+        }
+        out
+    }
+}
+
+/// Table II: benchmark properties, paper vs scaled stand-ins.
+pub mod table2 {
+    use super::*;
+
+    /// Builds every benchmark at the scoped scale and reports sizes.
+    pub fn run(scope: Scope) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Table II: benchmarks (paper size -> scaled stand-in) =="
+        );
+        let _ = writeln!(
+            out,
+            "{:<4} {:<16} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6} {:>7} {:>9}",
+            "tag", "name", "paper N", "paper M", "N", "M", "M/N", "skew", "local%", "clustered"
+        );
+        for b in scope.benches() {
+            let (pn, pm) = b.paper_size();
+            let g = b.build(scope.shrink);
+            let props = graph::props::GraphProps::measure(&g);
+            let _ = writeln!(
+                out,
+                "{:<4} {:<16} {:>8.2}M {:>8.0}M {:>9} {:>9} {:>7.1} {:>6.1} {:>6.1}% {:>9}",
+                b.tag(),
+                b.name(),
+                pn as f64 / 1e6,
+                pm as f64 / 1e6,
+                props.n,
+                props.m,
+                props.mean_out_degree,
+                props.skew,
+                props.label_locality * 100.0,
+                b.is_clustered()
+            );
+        }
+        out
+    }
+}
+
+/// Fig. 11: throughput per architecture for PageRank, SCC, SSSP.
+pub mod fig11 {
+    use super::*;
+
+    /// Runs the architecture exploration and prints GTEPS per point plus
+    /// per-architecture geometric means.
+    pub fn run(scope: Scope) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig. 11: throughput (GTEPS) per architecture ==");
+        for (algo, iters) in scope.algos() {
+            let _ = writeln!(out, "\n-- {} --", algo.name());
+            let archs = scope.archs();
+            let mut header = format!("{:<6}", "bench");
+            for a in &archs {
+                let _ = write!(header, " {:>14}", a.name);
+            }
+            let _ = writeln!(out, "{header}");
+            let mut per_arch: Vec<Vec<f64>> = vec![Vec::new(); archs.len()];
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+                let mut line = format!("{:<6}", b.tag());
+                for (i, &arch) in archs.iter().enumerate() {
+                    let mut spec = spec_for(arch, &scope);
+                    spec.max_iterations = iters;
+                    let row = run_graph(&g, b.tag(), algo, &spec);
+                    per_arch[i].push(row.gteps);
+                    let _ = write!(line, " {:>14.3}", row.gteps);
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            let mut gm = format!("{:<6}", "geo");
+            for v in &per_arch {
+                let _ = write!(gm, " {:>14.3}", geomean(v));
+            }
+            let _ = writeln!(out, "{gm}");
+        }
+        out
+    }
+}
+
+/// Fig. 12: SCC throughput vs cache hit rate, with and without cache
+/// arrays.
+pub mod fig12 {
+    use super::*;
+
+    /// Emits (architecture, benchmark, hit rate, GTEPS) points for the
+    /// cached and cache-less variants.
+    pub fn run(scope: Scope) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig. 12: SCC throughput vs cache hit rate ==");
+        let _ = writeln!(
+            out,
+            "{:<16} {:<6} {:>10} {:>10} {:>12} {:>12}",
+            "arch", "bench", "hit%", "GTEPS", "hit%(noc)", "GTEPS(noc)"
+        );
+        let mut cached: Vec<f64> = Vec::new();
+        let mut cacheless: Vec<f64> = Vec::new();
+        for arch in scope.archs() {
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, false);
+                let mut spec = spec_for(arch, &scope);
+                let with = run_graph(&g, b.tag(), Algorithm::Scc, &spec);
+                spec.caches = CacheVariant::None;
+                let without = run_graph(&g, b.tag(), Algorithm::Scc, &spec);
+                cached.push(with.gteps);
+                cacheless.push(without.gteps);
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<6} {:>9.1}% {:>10.3} {:>11.1}% {:>12.3}",
+                    arch.name,
+                    b.tag(),
+                    with.hit_rate * 100.0,
+                    with.gteps,
+                    without.hit_rate * 100.0,
+                    without.gteps
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "geomean GTEPS: cached {:.3}, cache-less {:.3} (drop {:.1}%)",
+            geomean(&cached),
+            geomean(&cacheless),
+            (1.0 - geomean(&cacheless) / geomean(&cached).max(1e-12)) * 100.0
+        );
+        out
+    }
+}
+
+/// Fig. 13: PageRank throughput per preprocessing variant.
+pub mod fig13 {
+    use super::*;
+
+    /// Runs the 18/16 two-level point under the four preprocessing
+    /// variants.
+    pub fn run(scope: Scope) -> String {
+        let arch = ArchPoint::ALL[4]; // 2lvl 18/16
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Fig. 13: PageRank GTEPS on {} by preprocessing ==",
+            arch.name
+        );
+        let mut header = format!("{:<6}", "bench");
+        for p in Preprocess::ALL {
+            let _ = write!(header, " {:>10}", p.name());
+        }
+        let _ = writeln!(out, "{header}");
+        for b in scope.benches() {
+            let mut line = format!("{:<6}", b.tag());
+            for p in Preprocess::ALL {
+                let g = prepare_graph(b, p, scope.shrink, false);
+                let mut spec = spec_for(arch, &scope);
+                spec.pre = p;
+                spec.max_iterations = Some(2);
+                let row = run_graph(&g, b.tag(), Algorithm::pagerank(), &spec);
+                let _ = write!(line, " {:>10.3}", row.gteps);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+/// Table III: preprocessing wall-clock times.
+pub mod table3 {
+    use super::*;
+    use graph::Partitioner;
+    use std::time::Instant;
+
+    /// Times partitioning, hashing, and DBG on every scoped benchmark.
+    pub fn run(scope: Scope) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Table III: preprocessing time (seconds, host CPU) =="
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>14} {:>12} {:>12}",
+            "bench", "partitioning", "hashing", "DBG"
+        );
+        for b in scope.benches() {
+            let g = b.build(scope.shrink);
+            let t = Instant::now();
+            let (ns, nd) = crate::runner::intervals_for(scope.shrink);
+            let parts = Partitioner::new(ns, nd).partition(&g);
+            let t_part = t.elapsed().as_secs_f64();
+            std::hint::black_box(parts.total_edges());
+            let (_, t_hash) = graph::reorder::apply(&g, Preprocess::Hash, 16, 7);
+            let (_, t_dbg) = graph::reorder::apply(&g, Preprocess::Dbg, 16, 7);
+            let _ = writeln!(
+                out,
+                "{:<6} {:>14.4} {:>12.4} {:>12.4}",
+                b.tag(),
+                t_part,
+                t_hash.hashing_s + t_hash.relabel_s,
+                t_dbg.dbg_s + t_dbg.relabel_s
+            );
+        }
+        out
+    }
+}
+
+/// Fig. 14: throughput scaling with DDR4 channels, plus the FabGraph
+/// analytic model for PageRank.
+pub mod fig14 {
+    use super::*;
+    use baselines::FabGraphModel;
+
+    /// Sweeps 1/2/4 channels on the 16/16 two-level architecture.
+    pub fn run(scope: Scope) -> String {
+        let arch = ArchPoint::two_level_16_16();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Fig. 14: GTEPS vs memory channels on {} ==",
+            arch.name
+        );
+        for (algo, iters) in scope.algos() {
+            let _ = writeln!(out, "\n-- {} --", algo.name());
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8} {:>8} {:>8}{}",
+                "bench",
+                "1ch",
+                "2ch",
+                "4ch",
+                if algo.name() == "pagerank" {
+                    "   fabgraph(1/2/4ch, model)"
+                } else {
+                    ""
+                }
+            );
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+                let mut line = format!("{:<6}", b.tag());
+                for ch in [1usize, 2, 4] {
+                    let mut spec = spec_for(arch, &scope);
+                    spec.channels = ch;
+                    spec.max_iterations = iters;
+                    let row = run_graph(&g, b.tag(), algo, &spec);
+                    let _ = write!(line, " {:>8.3}", row.gteps);
+                }
+                if algo.name() == "pagerank" {
+                    let (pn, _) = b.paper_size();
+                    let scale = (pn as f64 / g.num_nodes() as f64).max(1.0);
+                    let l2 = (((4u64 << 20) / 4) as f64 / scale).max(1024.0) as u64;
+                    let _ = write!(line, "  ");
+                    for ch in [1u64, 2, 4] {
+                        let m = FabGraphModel::paper_default(ch).with_l2_nodes(l2);
+                        let _ = write!(
+                            line,
+                            " {:>7.3}",
+                            m.gteps(g.num_nodes() as u64, g.num_edges() as u64, 200.0)
+                        );
+                    }
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+}
+
+/// Fig. 15: cache-array ablation on the two-level 20/8 MOMS and the
+/// traditional cache.
+pub mod fig15 {
+    use super::*;
+
+    /// Runs SCC under the four cache variants for both designs.
+    pub fn run(scope: Scope) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Fig. 15: SCC GTEPS, 20/8 two-level, cache ablation =="
+        );
+        let variants = [
+            CacheVariant::Full,
+            CacheVariant::NoPrivate,
+            CacheVariant::NoShared,
+            CacheVariant::None,
+        ];
+        for arch in [ArchPoint::two_level_20_8(), ArchPoint::ALL[6]] {
+            let _ = writeln!(out, "\n-- {} --", arch.name);
+            let mut header = format!("{:<6}", "bench");
+            for v in variants {
+                let _ = write!(header, " {:>12}", v.name());
+            }
+            let _ = writeln!(out, "{header}");
+            let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, false);
+                let mut line = format!("{:<6}", b.tag());
+                for (i, v) in variants.iter().enumerate() {
+                    let mut spec = spec_for(arch, &scope);
+                    spec.caches = *v;
+                    let row = run_graph(&g, b.tag(), Algorithm::Scc, &spec);
+                    per_variant[i].push(row.gteps);
+                    let _ = write!(line, " {:>12.3}", row.gteps);
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            let mut gm = format!("{:<6}", "geo");
+            for v in &per_variant {
+                let _ = write!(gm, " {:>12.3}", geomean(v));
+            }
+            let _ = writeln!(out, "{gm}");
+            let full = geomean(&per_variant[0]);
+            let none = geomean(&per_variant[3]);
+            let _ = writeln!(
+                out,
+                "cache-array removal drop: {:.2}x",
+                full / none.max(1e-12)
+            );
+        }
+        out
+    }
+}
+
+/// Fig. 16 + Table IV: comparison against software baselines with
+/// bandwidth and power efficiency.
+pub mod fig16 {
+    use super::*;
+    use baselines::platforms::{bandwidth_efficiency_ratio, power_efficiency_ratio, Platform};
+    use baselines::{cpu, FabGraphModel};
+
+    /// Runs our best generic architecture against the CPU reference (and
+    /// the FabGraph model for PageRank) on every scoped benchmark.
+    pub fn run(scope: Scope) -> String {
+        let arch = ArchPoint::ALL[4]; // 2lvl 18/16: best generic point
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut out = String::new();
+        let _ = writeln!(out, "== Fig. 16: comparison with software baselines ==");
+        let _ = writeln!(
+            out,
+            "(FPGA = simulated {} at modelled clock; CPU = this host, {} threads)",
+            arch.name, threads
+        );
+        for (algo, iters) in scope.algos() {
+            let _ = writeln!(out, "\n-- {} --", algo.name());
+            let _ = writeln!(
+                out,
+                "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "bench", "FPGA", "CPU", "speedup", "bw-eff x", "pw-eff x"
+            );
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+                let mut spec = spec_for(arch, &scope);
+                spec.max_iterations = iters;
+                let ours = run_graph(&g, b.tag(), algo, &spec);
+                let cpu_run = cpu::run(&algo, &g, threads);
+                let cpu_gteps = cpu_run.gteps();
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>10.3} {:>10.3} {:>9.2}x {:>9.2}x {:>9.2}x",
+                    b.tag(),
+                    ours.gteps,
+                    cpu_gteps,
+                    ours.gteps / cpu_gteps.max(1e-12),
+                    bandwidth_efficiency_ratio(
+                        ours.gteps,
+                        Platform::Fpga,
+                        cpu_gteps,
+                        Platform::Cpu
+                    ),
+                    power_efficiency_ratio(ours.gteps, Platform::Fpga, cpu_gteps, Platform::Cpu),
+                );
+            }
+            if algo.name() == "pagerank" {
+                let _ = writeln!(out, "(FabGraph model, geomean over benches:)");
+                let mut ours_all = Vec::new();
+                let mut fab_all = Vec::new();
+                for b in scope.benches() {
+                    let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, false);
+                    let mut spec = spec_for(arch, &scope);
+                    spec.max_iterations = iters;
+                    let ours = run_graph(&g, b.tag(), algo, &spec);
+                    let (pn, _) = b.paper_size();
+                    let scale = (pn as f64 / g.num_nodes() as f64).max(1.0);
+                    let l2 = (((4u64 << 20) / 4) as f64 / scale).max(1024.0) as u64;
+                    let fab = FabGraphModel::paper_default(4).with_l2_nodes(l2).gteps(
+                        g.num_nodes() as u64,
+                        g.num_edges() as u64,
+                        200.0,
+                    );
+                    ours_all.push(ours.gteps);
+                    fab_all.push(fab);
+                }
+                let _ = writeln!(
+                    out,
+                    "ours {:.3} vs fabgraph {:.3} -> {:.2}x",
+                    geomean(&ours_all),
+                    geomean(&fab_all),
+                    geomean(&ours_all) / geomean(&fab_all).max(1e-12)
+                );
+            }
+        }
+        let _ = writeln!(out, "\n== Table IV: platforms ==");
+        for p in [Platform::Fpga, Platform::Gpu, Platform::Cpu] {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>8.0} GB/s {:>6.0} W",
+                p.name(),
+                p.bandwidth_gbs(),
+                p.power_w()
+            );
+        }
+        out
+    }
+}
+
+/// Fig. 17: resource utilisation and frequency of the top designs.
+pub mod fig17 {
+    use super::*;
+    use baselines::ResourceModel;
+    use moms::{CacheConfig, MomsConfig};
+
+    /// Evaluates the resource model for the two best architectures of
+    /// each application.
+    pub fn run() -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Fig. 17: resource utilisation (modelled, % of post-shell VU9P) =="
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
+            "app", "arch", "LUT%", "FF%", "BRAM%", "URAM%", "DSP%", "freq MHz"
+        );
+        for (algo, archs) in [
+            (
+                Algorithm::pagerank(),
+                [ArchPoint::ALL[3], ArchPoint::ALL[4]],
+            ),
+            (Algorithm::Scc, [ArchPoint::ALL[4], ArchPoint::ALL[5]]),
+            (Algorithm::sssp(0), [ArchPoint::ALL[4], ArchPoint::ALL[3]]),
+        ] {
+            for arch in archs {
+                let mut cfg = arch.moms_config(4, 1, true);
+                cfg.shared = if arch.traditional {
+                    MomsConfig::traditional(Some(CacheConfig::direct_mapped_kib(256)))
+                } else {
+                    MomsConfig::paper_shared_bank()
+                };
+                cfg.private = MomsConfig::paper_private_bank(arch.private_cache_kib > 0);
+                let model = ResourceModel {
+                    moms: cfg,
+                    floating_point: matches!(algo, Algorithm::PageRank { .. }),
+                    pe_buffer_bytes: 32_768 * algo.bram_words() as u64 * 4,
+                };
+                let u = model.total().utilisation();
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<16} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>9.0}",
+                    algo.name(),
+                    arch.name,
+                    u.luts * 100.0,
+                    u.ffs * 100.0,
+                    u.bram36 * 100.0,
+                    u.uram * 100.0,
+                    u.dsps * 100.0,
+                    model.frequency_mhz()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Ablation study of the MOMS design choices DESIGN.md calls out:
+/// cuckoo associativity, displacement budget, subentry row geometry,
+/// MSHR/subentry capacity, the shared→private link width, and the die
+/// crossing cost. Trace-driven (no full accelerator), so it runs in
+/// seconds.
+pub mod ablate {
+    use super::*;
+    use moms::harness::{shard_trace, TraceRun};
+    use moms::{MomsConfig, MomsSystemConfig, Topology};
+
+    fn base_cfg() -> MomsSystemConfig {
+        MomsSystemConfig {
+            topology: Topology::TwoLevel,
+            num_pes: 8,
+            num_channels: 2,
+            shared_banks: 8,
+            shared: MomsConfig::paper_shared_bank()
+                .scaled(1, 32)
+                .without_cache(),
+            private: MomsConfig::paper_private_bank(false).scaled(1, 32),
+            pe_slr: moms::system::default_pe_slrs(8),
+            channel_slr: moms::system::default_channel_slrs(2),
+            crossing_latency: 4,
+            base_net_latency: 2,
+            resp_link_cycles_per_line: 8,
+        }
+    }
+
+    fn measure(cfg: MomsSystemConfig) -> (f64, f64) {
+        let trace = shard_trace(40_000, 256, 4_000, 2, 11);
+        let r = TraceRun::new(cfg).execute(&trace);
+        (r.requests_per_cycle(), r.lines_per_request())
+    }
+
+    /// Runs every sweep and renders the table.
+    pub fn run() -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Ablation: MOMS design choices (trace-driven) ==");
+        let _ = writeln!(
+            out,
+            "{:<34} {:>12} {:>12}",
+            "variant", "req/cycle", "lines/req"
+        );
+        let mut emit = |name: String, cfg: MomsSystemConfig| {
+            let (rpc, lpr) = measure(cfg);
+            let _ = writeln!(out, "{name:<34} {rpc:>12.3} {lpr:>12.3}");
+        };
+
+        emit("baseline (4-way, 8 kicks)".into(), base_cfg());
+
+        for ways in [2usize, 8] {
+            let mut c = base_cfg();
+            c.shared.cuckoo_ways = ways;
+            c.private.cuckoo_ways = ways;
+            emit(format!("cuckoo ways = {ways}"), c);
+        }
+        for kicks in [1usize, 32] {
+            let mut c = base_cfg();
+            c.shared.max_kicks = kicks;
+            c.private.max_kicks = kicks;
+            emit(format!("max kicks = {kicks}"), c);
+        }
+        for slots in [2usize, 8] {
+            let mut c = base_cfg();
+            c.shared.subentry_slots_per_row = slots;
+            c.private.subentry_slots_per_row = slots;
+            emit(format!("subentry slots/row = {slots}"), c);
+        }
+        for mshrs in [32usize, 2048] {
+            let mut c = base_cfg();
+            c.shared.mshrs = mshrs;
+            c.private.mshrs = mshrs;
+            emit(format!("MSHRs/bank = {mshrs}"), c);
+        }
+        for subs in [256usize, 16384] {
+            let mut c = base_cfg();
+            c.shared.subentries = subs;
+            c.private.subentries = subs;
+            emit(format!("subentries/bank = {subs}"), c);
+        }
+        for link in [2u64, 16] {
+            let mut c = base_cfg();
+            c.resp_link_cycles_per_line = link;
+            emit(format!("resp link cycles/line = {link}"), c);
+        }
+        for cross in [0u64, 12] {
+            let mut c = base_cfg();
+            c.crossing_latency = cross;
+            emit(format!("die crossing latency = {cross}"), c);
+        }
+        // DynaBurst-style burst assembly on the shared banks (§V-A: the
+        // authors found the benefit too low to keep it).
+        for (lines, wait) in [(4u32, 8u64), (8, 16)] {
+            let mut c = base_cfg();
+            c.shared = c
+                .shared
+                .with_burst_assembly(moms::config::BurstAssemblyConfig {
+                    max_lines: lines,
+                    wait_cycles: wait,
+                });
+            emit(format!("dynaburst {lines} lines / wait {wait}"), c);
+        }
+        out
+    }
+}
+
+/// Paper-scale analytic comparison: FabGraph's model vs the MOMS traffic
+/// model on the *original* Table II graph sizes, where Fig. 14's claims
+/// live (cycle simulation is intractable there; both sides are evaluated
+/// with the same optimistic-overlap analytic methodology the paper uses
+/// for FabGraph).
+pub mod paperscale {
+    use super::*;
+    use baselines::{FabGraphModel, MomsAnalyticModel};
+
+    /// Evaluates both models over every Table II benchmark and 1/2/4
+    /// channels.
+    pub fn run() -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Paper-scale analytic: MOMS vs FabGraph (GTEPS at 200 MHz) =="
+        );
+        let _ = writeln!(
+            out,
+            "{:<4} {:>10} {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+            "tag", "N", "M", "fab 1ch", "fab 2ch", "fab 4ch", "moms 1ch", "moms 2ch", "moms 4ch"
+        );
+        for b in BenchmarkId::ALL {
+            let (n, m) = b.paper_size();
+            let mut line = format!("{:<4} {:>10} {:>10} |", b.tag(), n, m);
+            for ch in [1u64, 2, 4] {
+                let _ = write!(
+                    line,
+                    " {:>9.2}",
+                    FabGraphModel::paper_default(ch).gteps(n, m, 200.0)
+                );
+            }
+            let _ = write!(line, " |");
+            for ch in [1u64, 2, 4] {
+                let _ = write!(
+                    line,
+                    " {:>9.2}",
+                    MomsAnalyticModel::paper_default(ch).gteps(n, m, 200.0)
+                );
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(
+            out,
+            "(FabGraph often wins at 1 channel; its Qd-proportional vertex and\n\
+             internal traffic loses at 4 channels on graphs whose node sets dwarf\n\
+             on-chip memory — the paper's Fig. 14 shape.)"
+        );
+        out
+    }
+}
+
+/// Synchronous vs asynchronous execution (§III-B): the paper's model
+/// supports both, unlike ForeGraph/FabGraph which are asynchronous-only
+/// in name but double-buffered in effect. Asynchronous in-place execution
+/// lets updates propagate *within* an iteration, so the monotone
+/// algorithms converge in fewer iterations and cycles.
+pub mod syncasync {
+    use super::*;
+    use accel::ExecutionMode;
+
+    /// Runs SCC and SSSP in both modes on the headline architecture.
+    pub fn run(scope: Scope) -> String {
+        let arch = ArchPoint::two_level_16_16();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Extension: asynchronous vs forced-synchronous execution =="
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:<6} {:>10} {:>10} {:>12} {:>12} {:>9}",
+            "algo", "bench", "iter(async)", "iter(sync)", "cyc(async)", "cyc(sync)", "speedup"
+        );
+        for algo in [Algorithm::Scc, Algorithm::sssp(0)] {
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+                let mut spec = spec_for(arch, &scope);
+                let a = run_graph(&g, b.tag(), algo, &spec);
+                spec.execution = ExecutionMode::ForceSynchronous;
+                let s_ = run_graph(&g, b.tag(), algo, &spec);
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<6} {:>10} {:>10} {:>12} {:>12} {:>8.2}x",
+                    algo.name(),
+                    b.tag(),
+                    a.iterations,
+                    s_.iterations,
+                    a.cycles,
+                    s_.cycles,
+                    s_.cycles as f64 / a.cycles as f64
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Related-work context (§VI): the quantitative comparisons the paper
+/// makes in prose, with the published numbers it cites next to this
+/// reproduction's simulated results on the corresponding stand-in.
+pub mod related_work {
+    use super::*;
+
+    /// Runs the RV and RMAT-24 points and prints them next to §VI's cited
+    /// numbers.
+    pub fn run(scope: Scope) -> String {
+        let arch = ArchPoint::ALL[4]; // best generic point
+        let mut out = String::new();
+        let _ = writeln!(out, "== §VI related-work context (paper-cited numbers) ==");
+        let _ = writeln!(
+            out,
+            "published (from the paper's text):\n\
+             - Graphicionado (ASIC): PR 4.5 GTEPS / SSSP 0.2 GTEPS on RV; paper: 1.5 / 0.7\n\
+             - GraphDynS (ASIC, HBM): > 85 GTEPS on RMAT-26\n\
+             - Galois / GraphMat / Totem (CPU-GPU): 1.3 / 1.8 / 9.0 GTEPS PR on RMAT-24;\n\
+               paper: 1.8 GTEPS at half the DRAM bandwidth and 15x lower power"
+        );
+        let _ = writeln!(
+            out,
+            "\nthis reproduction (scaled stand-ins, modelled clock):"
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<6} {:>10} {:>12}",
+            "algo", "bench", "GTEPS", "edges/cycle"
+        );
+        for (algo, iters, bench) in [
+            (Algorithm::pagerank(), Some(2), BenchmarkId::Rv),
+            (Algorithm::sssp(0), None, BenchmarkId::Rv),
+            (Algorithm::pagerank(), Some(2), BenchmarkId::R24),
+        ] {
+            let g = prepare_graph(bench, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+            let mut spec = spec_for(arch, &scope);
+            spec.max_iterations = iters;
+            let row = run_graph(&g, bench.tag(), algo, &spec);
+            let _ = writeln!(
+                out,
+                "{:<10} {:<6} {:>10.3} {:>12.3}",
+                algo.name(),
+                bench.tag(),
+                row.gteps,
+                row.edges as f64 / row.cycles as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n(The 1-2 GTEPS magnitude on RV/RMAT-24 carries over; at simulator\n\
+             scale PageRank's RAW stalls and SSSP's weighted-edge bandwidth cost\n\
+             roughly cancel, so their ratio is ~1 rather than the paper's ~2.\n\
+             ASIC baselines sit an order of magnitude above any FPGA point, as\n\
+             §VI discusses.)"
+        );
+        out
+    }
+}
+
+/// Machine-readable sweep: the full (benchmark × algorithm × architecture)
+/// matrix as CSV on stdout, for plotting outside the harness.
+pub mod sweep {
+    use super::*;
+    use crate::runner::{csv_header, csv_line};
+
+    /// Runs the matrix and renders CSV.
+    pub fn run(scope: Scope) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", csv_header());
+        for (algo, iters) in scope.algos() {
+            for b in scope.benches() {
+                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+                for arch in scope.archs() {
+                    let mut spec = spec_for(arch, &scope);
+                    spec.max_iterations = iters;
+                    let row = run_graph(&g, b.tag(), algo, &spec);
+                    let _ = writeln!(out, "{}", csv_line(&row, spec.channels));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scope() -> Scope {
+        Scope {
+            full: false,
+            shrink: 32,
+        }
+    }
+
+    #[test]
+    fn table1_lists_all_three_algorithms() {
+        let s = table1::run();
+        assert!(s.contains("pagerank"));
+        assert!(s.contains("scc"));
+        assert!(s.contains("sssp"));
+    }
+
+    #[test]
+    fn table2_reports_scaled_sizes() {
+        let s = table2::run(tiny_scope());
+        assert!(s.contains("WT"));
+        assert!(s.contains("wiki-Talk"));
+    }
+
+    #[test]
+    fn fig17_has_six_rows() {
+        let s = fig17::run();
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.contains("2lvl") || l.contains("trad"))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn fig15_runs_at_tiny_scale() {
+        let mut scope = tiny_scope();
+        scope.shrink = 64;
+        let s = fig15::run(scope);
+        assert!(s.contains("no caches"));
+        assert!(s.contains("geo"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Runs one (benchmark, algorithm, architecture) point through the
+//! simulator and reports a result row.
+
+use std::time::Instant;
+
+use accel::{PeConfig, System, SystemConfig};
+use algos::Algorithm;
+use dram::DramConfig;
+use graph::benchmarks::BenchmarkId;
+use graph::reorder::{self, Preprocess};
+use graph::{CooGraph, Partitioner};
+
+use crate::arch::ArchPoint;
+
+/// Which cache arrays stay enabled (Fig. 15's four variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheVariant {
+    /// Private and shared arrays enabled.
+    #[default]
+    Full,
+    /// Shared array only.
+    NoPrivate,
+    /// Private array only.
+    NoShared,
+    /// No cache arrays at all (MSHRs and subentries only).
+    None,
+}
+
+impl CacheVariant {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheVariant::Full => "priv+shared",
+            CacheVariant::NoPrivate => "shared only",
+            CacheVariant::NoShared => "priv only",
+            CacheVariant::None => "no caches",
+        }
+    }
+}
+
+/// Interval sizes `(Ns, Nd)` for a given extra shrink factor.
+///
+/// Scaled so that jobs stay 1–2 orders of magnitude more numerous than
+/// PEs, as §IV-E requires (the paper has 500–3,600 jobs for 16–24 PEs;
+/// quick-scope graphs have 15k–40k nodes, so Nd must shrink with them).
+pub fn intervals_for(shrink: u64) -> (u32, u32) {
+    if shrink >= 4 {
+        (2048, 256)
+    } else {
+        (4096, 512)
+    }
+}
+
+/// Everything needed to run one experiment point.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Architecture design point.
+    pub arch: ArchPoint,
+    /// DRAM channels.
+    pub channels: usize,
+    /// Preprocessing variant.
+    pub pre: Preprocess,
+    /// Graph shrink factor on top of the default scale.
+    pub shrink: u64,
+    /// Which cache arrays stay enabled (Fig. 12/15).
+    pub caches: CacheVariant,
+    /// Cap iterations (PageRank throughput is iteration-independent, so
+    /// experiments run 2 instead of 10 to save wall-clock).
+    pub max_iterations: Option<u32>,
+    /// Synchronous/asynchronous execution control.
+    pub execution: accel::ExecutionMode,
+}
+
+impl RunSpec {
+    /// Default spec for an architecture at 4 channels.
+    pub fn new(arch: ArchPoint) -> Self {
+        RunSpec {
+            arch,
+            channels: 4,
+            pre: Preprocess::DbgHash,
+            shrink: 4,
+            caches: CacheVariant::Full,
+            max_iterations: None,
+            execution: accel::ExecutionMode::AlgorithmDefault,
+        }
+    }
+}
+
+/// One result row of an experiment table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Row {
+    /// Benchmark tag (Table II).
+    pub bench: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Architecture label.
+    pub arch: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Template 1 iterations executed.
+    pub iterations: u32,
+    /// Edges processed.
+    pub edges: u64,
+    /// Estimated clock in MHz (resource model).
+    pub freq_mhz: f64,
+    /// Throughput in GTEPS at the estimated clock.
+    pub gteps: f64,
+    /// Combined cache hit rate across MOMS levels.
+    pub hit_rate: f64,
+    /// DRAM lines fetched by the MOMS (irregular-read traffic).
+    pub moms_dram_lines: u64,
+    /// Host wall-clock seconds spent simulating.
+    pub sim_seconds: f64,
+}
+
+/// Builds the preprocessed graph for a benchmark.
+pub fn prepare_graph(bench: BenchmarkId, pre: Preprocess, shrink: u64, weighted: bool) -> CooGraph {
+    let mut g = bench.build(shrink);
+    if weighted {
+        g = g.with_random_weights(0, 255, 52);
+    }
+    let (g, _times) = reorder::apply(&g, pre, 16, 97);
+    g
+}
+
+/// Runs one point on a prebuilt graph.
+pub fn run_graph(g: &CooGraph, bench_tag: &str, algo: Algorithm, spec: &RunSpec) -> Row {
+    let mut moms_cfg = spec
+        .arch
+        .moms_config(spec.channels, spec.shrink.max(1) as usize, true);
+    match spec.caches {
+        CacheVariant::Full => {}
+        CacheVariant::NoPrivate => moms_cfg.private = moms_cfg.private.without_cache(),
+        CacheVariant::NoShared => moms_cfg.shared = moms_cfg.shared.without_cache(),
+        CacheVariant::None => {
+            moms_cfg.private = moms_cfg.private.without_cache();
+            moms_cfg.shared = moms_cfg.shared.without_cache();
+        }
+    }
+    let (ns, nd) = intervals_for(spec.shrink);
+    let cfg = SystemConfig {
+        dram: DramConfig::default(),
+        moms: moms_cfg,
+        pe: PeConfig {
+            bram_nodes: nd,
+            ..PeConfig::default()
+        },
+        max_iterations: spec.max_iterations,
+        execution: spec.execution,
+        moms_trace_cap: 0,
+    };
+    let t = Instant::now();
+    let mut sys = System::new(g, Partitioner::new(ns, nd), algo, cfg);
+    let result = sys.run();
+    let sim_seconds = t.elapsed().as_secs_f64();
+    let freq = spec.arch.frequency_mhz(spec.channels, &algo);
+    Row {
+        bench: bench_tag.to_owned(),
+        algo: algo.name().to_owned(),
+        arch: spec.arch.name.to_owned(),
+        cycles: result.cycles,
+        iterations: result.iterations,
+        edges: result.edges_processed,
+        freq_mhz: freq,
+        gteps: result.gteps(freq),
+        hit_rate: result.cache_hit_rate,
+        moms_dram_lines: result.stats.get("dram_line_requests"),
+        sim_seconds,
+    }
+}
+
+/// Prepares the benchmark graph and runs one point.
+pub fn run_point(bench: BenchmarkId, algo: Algorithm, spec: &RunSpec) -> Row {
+    let g = prepare_graph(bench, spec.pre, spec.shrink, algo.is_weighted());
+    run_graph(&g, bench.tag(), algo, spec)
+}
+
+/// The iteration cap used for PageRank in throughput experiments.
+pub fn pagerank_for_experiments() -> (Algorithm, Option<u32>) {
+    (Algorithm::pagerank(), Some(2))
+}
+
+/// CSV header matching [`csv_line`].
+pub fn csv_header() -> &'static str {
+    "bench,algo,arch,channels,cycles,edges,freq_mhz,gteps,hit_rate,moms_dram_lines,sim_seconds"
+}
+
+/// Renders a row as one CSV line (no quoting needed: all fields are
+/// alphanumeric labels or numbers).
+pub fn csv_line(row: &Row, channels: usize) -> String {
+    format!(
+        "{},{},{},{},{},{},{:.1},{:.6},{:.4},{},{:.3}",
+        row.bench,
+        row.algo,
+        row.arch.replace(',', ";"),
+        channels,
+        row.cycles,
+        row.edges,
+        row.freq_mhz,
+        row.gteps,
+        row.hit_rate,
+        row.moms_dram_lines,
+        row.sim_seconds
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_point() {
+        let mut spec = RunSpec::new(ArchPoint::two_level_16_16());
+        spec.shrink = 32;
+        let row = run_point(BenchmarkId::Wt, Algorithm::Scc, &spec);
+        assert!(row.gteps > 0.0);
+        assert!(row.cycles > 0);
+        assert_eq!(row.bench, "WT");
+        assert_eq!(row.arch, "2lvl 16/16");
+    }
+
+    #[test]
+    fn cacheless_spec_reports_zero_hit_rate() {
+        let mut spec = RunSpec::new(ArchPoint::two_level_20_8());
+        spec.shrink = 32;
+        spec.caches = CacheVariant::None;
+        let row = run_point(BenchmarkId::R24, Algorithm::Scc, &spec);
+        assert_eq!(row.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn weighted_algorithms_get_weighted_graphs() {
+        let g = prepare_graph(BenchmarkId::Wt, Preprocess::None, 32, true);
+        assert!(g.is_weighted());
+    }
+}

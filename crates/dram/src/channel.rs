@@ -1,0 +1,439 @@
+//! Single-channel DRAM timing model.
+
+use std::collections::VecDeque;
+
+use simkit::{Cycle, Fifo, Stats};
+
+use crate::config::DramConfig;
+use crate::system::LINE_BYTES;
+
+/// A read or write transaction of one or more consecutive 64 B lines.
+///
+/// The id is opaque to the channel and returned unchanged in the response,
+/// letting the issuer (MOMS bank or PE DMA) match responses to state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Issuer-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// Byte address of the first line (need not be line aligned; the
+    /// channel only looks at line/row/bank bits).
+    pub addr: u64,
+    /// Number of 64 B lines to transfer.
+    pub lines: u32,
+    /// `true` for writes (writes get a response too, used as completion
+    /// acknowledgement for write-back ordering).
+    pub write: bool,
+}
+
+impl DramRequest {
+    /// Convenience constructor for a read.
+    pub fn read(id: u64, addr: u64, lines: u32) -> Self {
+        DramRequest {
+            id,
+            addr,
+            lines,
+            write: false,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(id: u64, addr: u64, lines: u32) -> Self {
+        DramRequest {
+            id,
+            addr,
+            lines,
+            write: true,
+        }
+    }
+
+    /// Total bytes moved by this transaction.
+    pub fn bytes(&self) -> u64 {
+        self.lines as u64 * LINE_BYTES
+    }
+}
+
+/// Completion notification for a [`DramRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramResponse {
+    /// Identifier copied from the request.
+    pub id: u64,
+    /// Address copied from the request.
+    pub addr: u64,
+    /// Lines transferred, copied from the request.
+    pub lines: u32,
+    /// Whether the completed transaction was a write.
+    pub write: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    ready_at: Cycle,
+}
+
+/// One DRAM channel: bounded request queue, per-bank row state, shared data
+/// bus, FR-FCFS-lite scheduling, and an in-order completion queue.
+///
+/// Drive it by calling [`tick`](Self::tick) once per cycle and exchanging
+/// requests/responses through [`push_request`](Self::push_request) /
+/// [`pop_response`](Self::pop_response).
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    cfg: DramConfig,
+    requests: Fifo<DramRequest>,
+    banks: Vec<BankState>,
+    bus_free_at: Cycle,
+    /// (completion cycle, response); completion cycles are monotonically
+    /// nondecreasing because transfers serialise on the data bus.
+    completions: VecDeque<(Cycle, DramResponse)>,
+    stats: Stats,
+}
+
+impl DramChannel {
+    /// Creates an idle channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        let banks = vec![
+            BankState {
+                open_row: None,
+                ready_at: 0,
+            };
+            cfg.num_banks
+        ];
+        DramChannel {
+            requests: Fifo::new(cfg.queue_depth),
+            banks,
+            bus_free_at: 0,
+            completions: VecDeque::new(),
+            cfg,
+            stats: Stats::new(),
+        }
+    }
+
+    /// `true` when the request queue can accept another transaction.
+    pub fn can_accept(&self) -> bool {
+        self.requests.can_push()
+    }
+
+    /// Enqueues a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the queue is full; callers retry next
+    /// cycle (hardware backpressure).
+    pub fn push_request(&mut self, req: DramRequest) -> Result<(), DramRequest> {
+        self.requests.push(req).map_err(|e| e.0)
+    }
+
+    /// Pops a completed transaction if one has matured by `now`.
+    pub fn pop_response(&mut self, now: Cycle) -> Option<DramResponse> {
+        match self.completions.front() {
+            Some((ready, _)) if *ready <= now => self.completions.pop_front().map(|(_, r)| r),
+            _ => None,
+        }
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let row = addr / self.cfg.row_bytes;
+        // Banks interleave on row address bits so that streaming rows
+        // rotates banks, as typical controllers map them.
+        let bank = (row % self.cfg.num_banks as u64) as usize;
+        (bank, row)
+    }
+
+    /// Advances one cycle: schedules at most one transaction onto the bus.
+    pub fn tick(&mut self, now: Cycle) {
+        self.requests.tick();
+        if self.bus_free_at > now {
+            return; // data bus busy; cannot start another transfer
+        }
+        // FR-FCFS-lite: inspect a small window of the visible queue and
+        // prefer the first row hit; otherwise take the oldest entry.
+        let window: Vec<DramRequest> = self
+            .requests
+            .iter()
+            .take(self.cfg.sched_window)
+            .copied()
+            .collect();
+        if window.is_empty() {
+            return;
+        }
+        let mut chosen = 0usize;
+        for (i, r) in window.iter().enumerate() {
+            let (bank, row) = self.bank_and_row(r.addr);
+            if self.banks[bank].open_row == Some(row) && self.banks[bank].ready_at <= now {
+                chosen = i;
+                break;
+            }
+        }
+        // Remove the chosen request from the queue (pop+rotate since Fifo
+        // only pops from the front; window is small so this is cheap).
+        let mut head: Vec<DramRequest> = Vec::with_capacity(chosen + 1);
+        for _ in 0..=chosen {
+            head.push(self.requests.pop().expect("window item present"));
+        }
+        let req = head.pop().expect("chosen request");
+        // Re-stage the skipped older entries at the front order-preserved:
+        // Fifo has no push_front, so rebuild via a temporary. Skipped
+        // entries keep priority because they are re-inspected next cycle.
+        if !head.is_empty() {
+            let mut rest: Vec<DramRequest> = Vec::new();
+            while let Some(r) = self.requests.pop() {
+                rest.push(r);
+            }
+            let mut rebuilt = Fifo::new(self.cfg.queue_depth);
+            for r in head.into_iter().chain(rest) {
+                rebuilt
+                    .push(r)
+                    .unwrap_or_else(|_| unreachable!("rebuild within capacity"));
+            }
+            rebuilt.tick(); // make them visible immediately
+                            // Preserve items that were staged (pushed this cycle) in the
+                            // old queue: they were already moved by the drain above only if
+                            // visible; staged ones are not reachable via pop, so copy them.
+                            // Note: requests.tick() ran at the top of this function, so
+                            // nothing is staged at this point.
+            self.requests = rebuilt;
+        }
+
+        let (bank, row) = self.bank_and_row(req.addr);
+        let row_hit = self.banks[bank].open_row == Some(row);
+        let bank_latency = if row_hit {
+            self.cfg.t_cas
+        } else {
+            self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+        };
+        let bank_ready = self.banks[bank].ready_at.max(now);
+        // Failure injection: deterministic per-transaction jitter.
+        let jitter = if self.cfg.jitter_cycles == 0 {
+            0
+        } else {
+            let mut z = req.id ^ req.addr.rotate_left(17) ^ 0xA076_1D64_78BD_642F;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            z % (self.cfg.jitter_cycles + 1)
+        };
+        let data_start = (bank_ready + bank_latency + jitter).max(self.bus_free_at);
+        let transfer = self.cfg.cmd_overhead + req.lines as u64 * self.cfg.cycles_per_line;
+        let data_end = data_start + transfer;
+        self.bus_free_at = data_end;
+        self.banks[bank] = BankState {
+            open_row: Some(row),
+            ready_at: data_end,
+        };
+        let completion = data_end + self.cfg.base_latency;
+        self.completions.push_back((
+            completion,
+            DramResponse {
+                id: req.id,
+                addr: req.addr,
+                lines: req.lines,
+                write: req.write,
+            },
+        ));
+
+        if row_hit {
+            self.stats.inc("row_hits");
+        } else {
+            self.stats.inc("row_misses");
+        }
+        if req.write {
+            self.stats.add("write_lines", req.lines as u64);
+            self.stats.inc("write_txns");
+        } else {
+            self.stats.add("read_lines", req.lines as u64);
+            self.stats.inc("read_txns");
+        }
+        self.stats.add("bus_busy_cycles", transfer);
+    }
+
+    /// `true` when no work is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.requests.is_empty() && self.completions.is_empty()
+    }
+
+    /// Counters: `row_hits`, `row_misses`, `read_lines`, `write_lines`,
+    /// `read_txns`, `write_txns`, `bus_busy_cycles`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Configuration this channel was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_response(ch: &mut DramChannel, start: Cycle, max: Cycle) -> (Cycle, DramResponse) {
+        let mut now = start;
+        loop {
+            ch.tick(now);
+            if let Some(r) = ch.pop_response(now) {
+                return (now, r);
+            }
+            now += 1;
+            assert!(now < max, "no response before cycle {max}");
+        }
+    }
+
+    #[test]
+    fn single_read_completes_with_expected_latency() {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg.clone());
+        ch.push_request(DramRequest::read(42, 0, 1)).unwrap();
+        let (done, resp) = run_until_response(&mut ch, 0, 1000);
+        assert_eq!(resp.id, 42);
+        // First access is a row miss: rp + rcd + cas + transfer + base.
+        let expect = cfg.t_rp
+            + cfg.t_rcd
+            + cfg.t_cas
+            + cfg.cmd_overhead
+            + cfg.cycles_per_line
+            + cfg.base_latency;
+        assert!(
+            done >= expect && done <= expect + 2,
+            "done={done} expect≈{expect}"
+        );
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_misses() {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg);
+        // Two reads to the same row: second should be a row hit.
+        ch.push_request(DramRequest::read(1, 128, 1)).unwrap();
+        ch.push_request(DramRequest::read(2, 192, 1)).unwrap();
+        let mut now = 0;
+        let mut got = vec![];
+        while got.len() < 2 {
+            ch.tick(now);
+            if let Some(r) = ch.pop_response(now) {
+                got.push((now, r.id));
+            }
+            now += 1;
+            assert!(now < 10_000);
+        }
+        assert_eq!(ch.stats().get("row_hits"), 1);
+        assert_eq!(ch.stats().get("row_misses"), 1);
+    }
+
+    #[test]
+    fn burst_throughput_beats_singles() {
+        // 32 lines as one burst vs 32 single-line transactions: the burst
+        // must finish in roughly half the bus time.
+        let cfg = DramConfig::default();
+        let mut burst = DramChannel::new(cfg.clone());
+        burst.push_request(DramRequest::read(0, 0, 32)).unwrap();
+        let (burst_done, _) = run_until_response(&mut burst, 0, 100_000);
+
+        let mut singles = DramChannel::new(cfg);
+        for i in 0..32 {
+            singles
+                .push_request(DramRequest::read(i, i * 64, 1))
+                .unwrap();
+        }
+        let mut now = 0;
+        let mut count = 0;
+        while count < 32 {
+            singles.tick(now);
+            if singles.pop_response(now).is_some() {
+                count += 1;
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        let singles_done = now;
+        assert!(
+            (singles_done as f64) > 1.5 * burst_done as f64,
+            "singles {singles_done} vs burst {burst_done}"
+        );
+    }
+
+    #[test]
+    fn backpressure_when_queue_full() {
+        let cfg = DramConfig {
+            queue_depth: 2,
+            ..DramConfig::default()
+        };
+        let mut ch = DramChannel::new(cfg);
+        assert!(ch.push_request(DramRequest::read(0, 0, 1)).is_ok());
+        assert!(ch.push_request(DramRequest::read(1, 64, 1)).is_ok());
+        assert!(ch.push_request(DramRequest::read(2, 128, 1)).is_err());
+    }
+
+    #[test]
+    fn responses_in_bus_order() {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg);
+        for i in 0..8u64 {
+            ch.push_request(DramRequest::read(i, i * 8192 * 16, 1))
+                .unwrap();
+        }
+        let mut now = 0;
+        let mut ids = vec![];
+        while ids.len() < 8 {
+            ch.tick(now);
+            if let Some(r) = ch.pop_response(now) {
+                ids.push(r.id);
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        // All different banks but same arrival order and serialized bus:
+        // FCFS order expected.
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jitter_changes_timing_but_not_delivery() {
+        let base = DramConfig::default();
+        let jit = DramConfig::default().with_jitter(37);
+        let run = |cfg: DramConfig| -> (Cycle, Vec<u64>) {
+            let mut ch = DramChannel::new(cfg);
+            for i in 0..16u64 {
+                ch.push_request(DramRequest::read(i, i * 8192, 1)).unwrap();
+            }
+            let mut now = 0;
+            let mut ids = vec![];
+            while ids.len() < 16 {
+                ch.tick(now);
+                while let Some(r) = ch.pop_response(now) {
+                    ids.push(r.id);
+                }
+                now += 1;
+                assert!(now < 100_000);
+            }
+            (now, ids)
+        };
+        let (t0, ids0) = run(base);
+        let (t1, mut ids1) = run(jit);
+        assert!(t1 > t0, "jitter should slow the channel");
+        ids1.sort_unstable();
+        let mut sorted0 = ids0;
+        sorted0.sort_unstable();
+        assert_eq!(sorted0, ids1, "every request still completes");
+    }
+
+    #[test]
+    fn write_gets_completion() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        ch.push_request(DramRequest::write(9, 4096, 4)).unwrap();
+        let (_, resp) = run_until_response(&mut ch, 0, 10_000);
+        assert!(resp.write);
+        assert_eq!(resp.lines, 4);
+        assert_eq!(ch.stats().get("write_lines"), 4);
+    }
+
+    #[test]
+    fn idle_reporting() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        assert!(ch.is_idle());
+        ch.push_request(DramRequest::read(0, 0, 1)).unwrap();
+        assert!(!ch.is_idle());
+        let _ = run_until_response(&mut ch, 0, 10_000);
+        assert!(ch.is_idle());
+    }
+}

@@ -1,0 +1,50 @@
+//! DDR4-style DRAM timing model and functional memory image.
+//!
+//! The accelerator model splits memory into two orthogonal halves, as most
+//! architectural simulators do:
+//!
+//! * **Timing** — [`DramChannel`] and [`MemorySystem`] move request *ids*
+//!   through queues, bank state machines, and a shared data bus, telling the
+//!   rest of the system *when* a response is available. Channels are
+//!   interleaved every [`INTERLEAVE_BYTES`] of the flat physical address
+//!   space, exactly as in the paper (§IV-B).
+//! * **Function** — [`MemImage`] is a plain byte array with typed accessors
+//!   holding the graph layout of Fig. 4. Consumers read/write it at the
+//!   moment the timing model delivers a response, so simulated algorithm
+//!   results are real values that can be checked against golden references.
+//!
+//! The AWS f1 shell's observed behaviour — ~16 GB/s per channel for long
+//! bursts but only ~8 GB/s for isolated single-line reads — is reproduced
+//! with a per-transaction command overhead on the data bus
+//! ([`DramConfig::cmd_overhead`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dram::{DramConfig, DramRequest, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(DramConfig::default(), 2);
+//! mem.push_request(0, DramRequest::read(1, 0x0, 1)).unwrap();
+//! let mut cycle = 0;
+//! let resp = loop {
+//!     mem.tick(cycle);
+//!     if let Some(r) = mem.pop_response(cycle, 0) {
+//!         break r;
+//!     }
+//!     cycle += 1;
+//!     assert!(cycle < 10_000);
+//! };
+//! assert_eq!(resp.id, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod channel;
+pub mod config;
+pub mod image;
+pub mod system;
+
+pub use channel::{DramChannel, DramRequest, DramResponse};
+pub use config::DramConfig;
+pub use image::MemImage;
+pub use system::{MemorySystem, INTERLEAVE_BYTES, LINE_BYTES};

@@ -1,0 +1,252 @@
+//! Scaled synthetic stand-ins for the paper's Table II benchmark graphs.
+//!
+//! The real graphs (tens of millions of nodes, up to 2 B edges) are neither
+//! redistributable nor tractable for a software cycle simulator, so each
+//! benchmark is replaced by a deterministic generator matched on the
+//! properties the paper's results depend on:
+//!
+//! * **N/M ratio** — the paper's node and edge counts, divided by a common
+//!   scale factor (64–1024× depending on size);
+//! * **degree skew** — RMAT for the RMAT rows, Pareto out-degrees elsewhere;
+//! * **label locality** — web crawls (UK, IT, SK, WB, DB) keep community-
+//!   clustered labels; social graphs (MP, RV, FR, WT) get scrambled labels,
+//!   reflecting Faldu et al.'s observation that their orderings do not
+//!   preserve communities (this drives Fig. 13's DBG results).
+
+use crate::coo::CooGraph;
+use crate::gen::GraphSpec;
+
+/// Identifier of a Table II benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchmarkId {
+    /// wiki-Talk: small, extremely sparse, scrambled labels.
+    Wt,
+    /// dbpedia-link: medium, moderately clustered.
+    Db,
+    /// uk-2005 web crawl: highly clustered labels.
+    Uk,
+    /// it-2004 web crawl: highly clustered labels.
+    It,
+    /// sk-2005 web crawl: highly clustered labels.
+    Sk,
+    /// twitter\_mpi: social, scrambled labels.
+    Mp,
+    /// twitter\_rv: social, scrambled labels.
+    Rv,
+    /// com-friendster: social, scrambled labels.
+    Fr,
+    /// webbase-2001: clustered, sparse for its size.
+    Wb,
+    /// RMAT-24 equivalent.
+    R24,
+    /// RMAT-25 equivalent.
+    R25,
+    /// RMAT-26 equivalent.
+    R26,
+}
+
+impl BenchmarkId {
+    /// All benchmarks in Table II order.
+    pub const ALL: [BenchmarkId; 12] = [
+        BenchmarkId::Wt,
+        BenchmarkId::Db,
+        BenchmarkId::Uk,
+        BenchmarkId::It,
+        BenchmarkId::Sk,
+        BenchmarkId::Mp,
+        BenchmarkId::Rv,
+        BenchmarkId::Fr,
+        BenchmarkId::Wb,
+        BenchmarkId::R24,
+        BenchmarkId::R25,
+        BenchmarkId::R26,
+    ];
+
+    /// A small representative subset for quick experiment runs: one sparse
+    /// social graph, one clustered web graph, one dense social graph, one
+    /// RMAT.
+    pub const QUICK: [BenchmarkId; 4] = [
+        BenchmarkId::Wt,
+        BenchmarkId::Uk,
+        BenchmarkId::Rv,
+        BenchmarkId::R24,
+    ];
+
+    /// The paper's two-letter tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            BenchmarkId::Wt => "WT",
+            BenchmarkId::Db => "DB",
+            BenchmarkId::Uk => "UK",
+            BenchmarkId::It => "IT",
+            BenchmarkId::Sk => "SK",
+            BenchmarkId::Mp => "MP",
+            BenchmarkId::Rv => "RV",
+            BenchmarkId::Fr => "FR",
+            BenchmarkId::Wb => "WB",
+            BenchmarkId::R24 => "24",
+            BenchmarkId::R25 => "25",
+            BenchmarkId::R26 => "26",
+        }
+    }
+
+    /// Full benchmark name as in Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Wt => "wiki-Talk",
+            BenchmarkId::Db => "dbpedia-link",
+            BenchmarkId::Uk => "uk-2005",
+            BenchmarkId::It => "it-2004",
+            BenchmarkId::Sk => "sk-2005",
+            BenchmarkId::Mp => "twitter_mpi",
+            BenchmarkId::Rv => "twitter_rv",
+            BenchmarkId::Fr => "com-friendster",
+            BenchmarkId::Wb => "webbase-2001",
+            BenchmarkId::R24 => "RMAT-24",
+            BenchmarkId::R25 => "RMAT-25",
+            BenchmarkId::R26 => "RMAT-26",
+        }
+    }
+
+    /// `(N, M)` of the original graph, from Table II.
+    pub fn paper_size(self) -> (u64, u64) {
+        match self {
+            BenchmarkId::Wt => (2_390_000, 5_020_000),
+            BenchmarkId::Db => (18_300_000, 172_000_000),
+            BenchmarkId::Uk => (39_500_000, 936_000_000),
+            BenchmarkId::It => (41_300_000, 1_150_000_000),
+            BenchmarkId::Sk => (50_600_000, 1_950_000_000),
+            BenchmarkId::Mp => (52_600_000, 1_960_000_000),
+            BenchmarkId::Rv => (61_600_000, 1_470_000_000),
+            BenchmarkId::Fr => (65_600_000, 1_810_000_000),
+            BenchmarkId::Wb => (118_000_000, 1_020_000_000),
+            BenchmarkId::R24 => (16_800_000, 268_000_000),
+            BenchmarkId::R25 => (33_600_000, 537_000_000),
+            BenchmarkId::R26 => (67_100_000, 1_070_000_000),
+        }
+    }
+
+    /// `true` for graphs whose original labeling preserves communities
+    /// (web crawls); `false` for social graphs and RMAT, where DBG is
+    /// expected to help (Fig. 13).
+    pub fn is_clustered(self) -> bool {
+        matches!(
+            self,
+            BenchmarkId::Db | BenchmarkId::Uk | BenchmarkId::It | BenchmarkId::Sk | BenchmarkId::Wb
+        )
+    }
+
+    /// Scale divisor applied to the paper's size for the simulator-sized
+    /// stand-in at `scale = 1.0`.
+    fn divisor(self) -> u64 {
+        match self {
+            BenchmarkId::Wt => 16,
+            BenchmarkId::Db => 128,
+            BenchmarkId::Uk | BenchmarkId::It | BenchmarkId::Wb => 512,
+            BenchmarkId::Sk | BenchmarkId::Mp | BenchmarkId::Rv | BenchmarkId::Fr => 1024,
+            BenchmarkId::R24 => 256,
+            BenchmarkId::R25 => 256,
+            BenchmarkId::R26 => 256,
+        }
+    }
+
+    /// The generator spec for this benchmark, additionally scaled by
+    /// `shrink` (1 = the default laptop scale; larger = smaller graphs for
+    /// quick runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shrink` is zero.
+    pub fn spec(self, shrink: u64) -> GraphSpec {
+        assert!(shrink > 0, "shrink factor must be nonzero");
+        let (pn, pm) = self.paper_size();
+        let div = self.divisor() * shrink;
+        let n = (pn / div).max(1024) as u32;
+        let m = (pm / div).max(4096) as usize;
+        match self {
+            BenchmarkId::R24 | BenchmarkId::R25 | BenchmarkId::R26 => {
+                // Keep the RMAT family: pick the scale closest to the target
+                // node count and the paper's M/N=16 average degree.
+                let scale = ((n as f64).log2().round() as u32).max(10);
+                GraphSpec::rmat(scale, 16)
+            }
+            BenchmarkId::Wt => GraphSpec::power_law_cluster(n, m, 1.7, 0.2, 64, true),
+            BenchmarkId::Db => GraphSpec::power_law_cluster(n, m, 2.0, 0.6, 256, false),
+            BenchmarkId::Uk | BenchmarkId::It | BenchmarkId::Sk => {
+                GraphSpec::power_law_cluster(n, m, 2.1, 0.85, 512, false)
+            }
+            BenchmarkId::Wb => GraphSpec::power_law_cluster(n, m, 2.2, 0.8, 512, false),
+            BenchmarkId::Mp | BenchmarkId::Rv | BenchmarkId::Fr => {
+                GraphSpec::power_law_cluster(n, m, 1.9, 0.35, 256, true)
+            }
+        }
+    }
+
+    /// Builds the scaled stand-in graph deterministically.
+    pub fn build(self, shrink: u64) -> CooGraph {
+        // Seed derived from the tag so each benchmark differs but is stable.
+        let seed = self
+            .tag()
+            .bytes()
+            .fold(0x9E37u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+        self.spec(shrink).build(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_small() {
+        for id in BenchmarkId::ALL {
+            let g = id.build(16);
+            assert!(g.num_nodes() >= 1024, "{}", id.tag());
+            assert!(g.num_edges() >= 4096, "{}", id.tag());
+        }
+    }
+
+    #[test]
+    fn ratios_roughly_match_paper() {
+        for id in [BenchmarkId::Uk, BenchmarkId::Rv, BenchmarkId::Db] {
+            let (pn, pm) = id.paper_size();
+            let paper_ratio = pm as f64 / pn as f64;
+            let g = id.build(4);
+            let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
+            assert!(
+                (ratio / paper_ratio - 1.0).abs() < 0.35,
+                "{}: {ratio:.1} vs paper {paper_ratio:.1}",
+                id.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = BenchmarkId::Rv.build(8);
+        let b = BenchmarkId::Rv.build(8);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn clustered_flags_match_graph_families() {
+        assert!(BenchmarkId::Uk.is_clustered());
+        assert!(!BenchmarkId::Rv.is_clustered());
+        assert!(!BenchmarkId::R24.is_clustered());
+    }
+
+    #[test]
+    fn tags_are_table_ii_tags() {
+        assert_eq!(BenchmarkId::Wt.tag(), "WT");
+        assert_eq!(BenchmarkId::R26.tag(), "26");
+        assert_eq!(BenchmarkId::ALL.len(), 12);
+    }
+
+    #[test]
+    fn rmat_benchmarks_use_rmat_spec() {
+        match BenchmarkId::R24.spec(1) {
+            GraphSpec::Rmat { avg_degree, .. } => assert_eq!(avg_degree, 16),
+            other => panic!("expected RMAT, got {other:?}"),
+        }
+    }
+}

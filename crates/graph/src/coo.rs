@@ -1,0 +1,245 @@
+//! Coordinate-format graph storage.
+
+/// Node identifier. The paper targets graphs with tens of millions of
+/// nodes; `u32` covers them and matches the compressed edge format.
+pub type NodeId = u32;
+
+/// A directed graph in coordinate (COO) format: a list of `(src, dst)`
+/// tuples with optional per-edge weights — exactly the input format the
+/// accelerator accepts (§III-C).
+///
+/// Undirected graphs are represented by duplicating each edge, as in the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use graph::CooGraph;
+/// let g = CooGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.out_degrees()[1], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooGraph {
+    num_nodes: u32,
+    edges: Vec<(NodeId, NodeId)>,
+    weights: Option<Vec<u32>>,
+}
+
+impl CooGraph {
+    /// Builds an unweighted graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: u32, edges: Vec<(NodeId, NodeId)>) -> Self {
+        for &(s, d) in &edges {
+            assert!(
+                s < num_nodes && d < num_nodes,
+                "edge ({s},{d}) out of range"
+            );
+        }
+        CooGraph {
+            num_nodes,
+            edges,
+            weights: None,
+        }
+    }
+
+    /// Builds a weighted graph from parallel edge and weight lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists differ in length or an endpoint is out of range.
+    pub fn from_weighted_edges(
+        num_nodes: u32,
+        edges: Vec<(NodeId, NodeId)>,
+        weights: Vec<u32>,
+    ) -> Self {
+        assert_eq!(edges.len(), weights.len(), "one weight per edge");
+        let mut g = CooGraph::from_edges(num_nodes, edges);
+        g.weights = Some(weights);
+        g
+    }
+
+    /// Number of nodes `N`.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of edges `M`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when per-edge weights are present.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Per-edge weights, if any.
+    pub fn weights(&self) -> Option<&[u32]> {
+        self.weights.as_deref()
+    }
+
+    /// Edge `i` as `(src, dst, weight)`; weight is 1 when unweighted.
+    pub fn edge(&self, i: usize) -> (NodeId, NodeId, u32) {
+        let (s, d) = self.edges[i];
+        let w = self.weights.as_ref().map_or(1, |ws| ws[i]);
+        (s, d, w)
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes as usize];
+        for &(s, _) in &self.edges {
+            deg[s as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes as usize];
+        for &(_, d) in &self.edges {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Attaches uniform random integer weights in `[lo, hi]`, as the paper
+    /// does for SSSP ("random integer weights between 0 and 255").
+    pub fn with_random_weights(mut self, lo: u32, hi: u32, seed: u64) -> Self {
+        assert!(lo <= hi, "weight range must be nondecreasing");
+        let mut rng = simkit::SplitMix64::new(seed);
+        let span = (hi - lo + 1) as u64;
+        self.weights = Some(
+            (0..self.edges.len())
+                .map(|_| lo + rng.next_below(span) as u32)
+                .collect(),
+        );
+        self
+    }
+
+    /// Returns the graph with every edge duplicated in the reverse
+    /// direction — how the accelerator handles undirected graphs (§III)
+    /// and the required input for [`crate::gen`]-built WCC runs.
+    pub fn symmetrized(&self) -> CooGraph {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        let mut weights = self.weights.as_ref().map(|w| {
+            let mut v = Vec::with_capacity(w.len() * 2);
+            v.extend_from_slice(w);
+            v
+        });
+        edges.extend_from_slice(&self.edges);
+        for i in 0..self.edges.len() {
+            let (s, d) = self.edges[i];
+            edges.push((d, s));
+            if let Some(ws) = &mut weights {
+                let w = self.weights.as_ref().expect("weighted")[i];
+                ws.push(w);
+            }
+        }
+        CooGraph {
+            num_nodes: self.num_nodes,
+            edges,
+            weights,
+        }
+    }
+
+    /// Applies a node relabeling: node `i` becomes `perm[i]`.
+    ///
+    /// Used by the reordering passes; edge order is preserved (partitioning
+    /// does not require any edge sorting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_nodes`.
+    pub fn relabel(&self, perm: &[NodeId]) -> CooGraph {
+        assert_eq!(perm.len(), self.num_nodes as usize, "permutation size");
+        debug_assert!(crate::reorder::is_permutation(perm), "not a permutation");
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(s, d)| (perm[s as usize], perm[d as usize]))
+            .collect();
+        CooGraph {
+            num_nodes: self.num_nodes,
+            edges,
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> CooGraph {
+        CooGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)).collect())
+    }
+
+    #[test]
+    fn degrees_of_ring() {
+        let g = ring(5);
+        assert_eq!(g.out_degrees(), vec![1; 5]);
+        assert_eq!(g.in_degrees(), vec![1; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = CooGraph::from_edges(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn weighted_edges_round_trip() {
+        let g = CooGraph::from_weighted_edges(3, vec![(0, 1), (1, 2)], vec![7, 9]);
+        assert!(g.is_weighted());
+        assert_eq!(g.edge(0), (0, 1, 7));
+        assert_eq!(g.edge(1), (1, 2, 9));
+    }
+
+    #[test]
+    fn unweighted_edge_weight_is_one() {
+        let g = ring(3);
+        assert_eq!(g.edge(0).2, 1);
+    }
+
+    #[test]
+    fn random_weights_in_range_and_deterministic() {
+        let g1 = ring(100).with_random_weights(0, 255, 11);
+        let g2 = ring(100).with_random_weights(0, 255, 11);
+        assert_eq!(g1.weights(), g2.weights());
+        assert!(g1.weights().unwrap().iter().all(|&w| w <= 255));
+    }
+
+    #[test]
+    fn symmetrized_doubles_edges() {
+        let g = CooGraph::from_weighted_edges(3, vec![(0, 1), (1, 2)], vec![5, 6]);
+        let s = g.symmetrized();
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.edges()[2], (1, 0));
+        assert_eq!(s.weights().unwrap(), &[5, 6, 5, 6]);
+    }
+
+    #[test]
+    fn relabel_permutes_endpoints() {
+        let g = CooGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        // 0->2, 1->0, 2->1
+        let r = g.relabel(&[2, 0, 1]);
+        assert_eq!(r.edges(), &[(2, 0), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation size")]
+    fn relabel_rejects_wrong_size() {
+        let g = ring(3);
+        let _ = g.relabel(&[0, 1]);
+    }
+}

@@ -1,0 +1,499 @@
+//! Deterministic synthetic graph generators.
+//!
+//! Two families cover the evaluation's needs:
+//!
+//! * [`GraphSpec::rmat`] — the RMAT model used directly by the paper
+//!   (RMAT-24/25/26 with the standard Graph500 quadrant probabilities).
+//! * [`GraphSpec::power_law_cluster`] — a Zipf-out-degree generator with a
+//!   tunable fraction of intra-community edges and an optional label
+//!   scramble. Community locality models web crawls (uk-2005, it-2004, …)
+//!   whose labeling preserves clusters; scrambling models social graphs
+//!   (twitter, friendster) whose labeling does not — the two properties the
+//!   paper's preprocessing study (Fig. 13) depends on.
+
+use simkit::SplitMix64;
+
+use crate::coo::{CooGraph, NodeId};
+
+/// Declarative description of a synthetic graph; [`build`](GraphSpec::build)
+/// materialises it deterministically from a seed.
+///
+/// # Example
+///
+/// ```
+/// use graph::GraphSpec;
+/// let g = GraphSpec::rmat(8, 4).build(1);
+/// assert_eq!(g.num_nodes(), 256);
+/// assert_eq!(g.num_edges(), 256 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// RMAT with `2^scale` nodes and `2^scale * avg_degree` edges using
+    /// quadrant probabilities `(a, b, c, d)`.
+    Rmat {
+        /// log2 of the node count.
+        scale: u32,
+        /// Average out-degree (edges = nodes × this).
+        avg_degree: u32,
+        /// Quadrant probabilities, summing to 1.
+        probs: (f64, f64, f64, f64),
+    },
+    /// Uniform random graph with `n` nodes and `m` edges.
+    ErdosRenyi {
+        /// Node count.
+        n: u32,
+        /// Edge count.
+        m: usize,
+    },
+    /// Barabási–Albert preferential attachment: each new node attaches to
+    /// `m_attach` existing nodes chosen proportionally to their current
+    /// degree. Produces power-law in-degrees with strong early-node hubs.
+    BarabasiAlbert {
+        /// Node count.
+        n: u32,
+        /// Edges added per new node.
+        m_attach: u32,
+    },
+    /// Watts–Strogatz small-world: a ring lattice of degree `k` with each
+    /// edge rewired to a random target with probability `beta`. Low skew,
+    /// high clustering — a useful contrast to the power-law families.
+    WattsStrogatz {
+        /// Node count.
+        n: u32,
+        /// Lattice degree (even).
+        k: u32,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// Power-law out-degrees with community structure.
+    PowerLawCluster {
+        /// Node count.
+        n: u32,
+        /// Edge count target.
+        m: usize,
+        /// Pareto shape for out-degrees (smaller = more skewed); the
+        /// paper's graphs have shapes around 1.8–2.5.
+        alpha: f64,
+        /// Fraction of edges that stay within the source's community.
+        locality: f64,
+        /// Mean community size in nodes.
+        community: u32,
+        /// When `true`, node labels are randomly permuted after
+        /// generation, destroying label locality while preserving graph
+        /// structure (social-network-like labelings).
+        scrambled: bool,
+    },
+}
+
+impl GraphSpec {
+    /// RMAT with the standard Graph500 probabilities (0.57/0.19/0.19/0.05),
+    /// matching the paper's RMAT-24/25/26 inputs \[12\], \[27\].
+    pub fn rmat(scale: u32, avg_degree: u32) -> Self {
+        GraphSpec::Rmat {
+            scale,
+            avg_degree,
+            probs: (0.57, 0.19, 0.19, 0.05),
+        }
+    }
+
+    /// Uniform random graph.
+    pub fn erdos_renyi(n: u32, m: usize) -> Self {
+        GraphSpec::ErdosRenyi { n, m }
+    }
+
+    /// Barabási–Albert preferential attachment graph.
+    pub fn barabasi_albert(n: u32, m_attach: u32) -> Self {
+        GraphSpec::BarabasiAlbert { n, m_attach }
+    }
+
+    /// Watts–Strogatz small-world graph.
+    pub fn watts_strogatz(n: u32, k: u32, beta: f64) -> Self {
+        GraphSpec::WattsStrogatz { n, k, beta }
+    }
+
+    /// Power-law community graph; see the variant docs for parameters.
+    pub fn power_law_cluster(
+        n: u32,
+        m: usize,
+        alpha: f64,
+        locality: f64,
+        community: u32,
+        scrambled: bool,
+    ) -> Self {
+        GraphSpec::PowerLawCluster {
+            n,
+            m,
+            alpha,
+            locality,
+            community,
+            scrambled,
+        }
+    }
+
+    /// Node count this spec will produce.
+    pub fn num_nodes(&self) -> u32 {
+        match *self {
+            GraphSpec::Rmat { scale, .. } => 1u32 << scale,
+            GraphSpec::ErdosRenyi { n, .. } => n,
+            GraphSpec::BarabasiAlbert { n, .. } => n,
+            GraphSpec::WattsStrogatz { n, .. } => n,
+            GraphSpec::PowerLawCluster { n, .. } => n,
+        }
+    }
+
+    /// Edge count this spec will produce.
+    pub fn num_edges(&self) -> usize {
+        match *self {
+            GraphSpec::Rmat {
+                scale, avg_degree, ..
+            } => (1usize << scale) * avg_degree as usize,
+            GraphSpec::ErdosRenyi { m, .. } => m,
+            GraphSpec::BarabasiAlbert { n, m_attach } => {
+                n.saturating_sub(m_attach) as usize * m_attach as usize
+            }
+            GraphSpec::WattsStrogatz { n, k, .. } => n as usize * k as usize,
+            GraphSpec::PowerLawCluster { m, .. } => m,
+        }
+    }
+
+    /// Materialises the graph deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero nodes, probabilities that do
+    /// not sum to ~1, locality outside `[0, 1]`).
+    pub fn build(&self, seed: u64) -> CooGraph {
+        match *self {
+            GraphSpec::Rmat {
+                scale,
+                avg_degree,
+                probs,
+            } => build_rmat(scale, avg_degree, probs, seed),
+            GraphSpec::ErdosRenyi { n, m } => build_er(n, m, seed),
+            GraphSpec::BarabasiAlbert { n, m_attach } => build_ba(n, m_attach, seed),
+            GraphSpec::WattsStrogatz { n, k, beta } => build_ws(n, k, beta, seed),
+            GraphSpec::PowerLawCluster {
+                n,
+                m,
+                alpha,
+                locality,
+                community,
+                scrambled,
+            } => build_plc(n, m, alpha, locality, community, scrambled, seed),
+        }
+    }
+}
+
+fn build_rmat(scale: u32, avg_degree: u32, probs: (f64, f64, f64, f64), seed: u64) -> CooGraph {
+    let (a, b, c, d) = probs;
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "RMAT probabilities must sum to 1"
+    );
+    assert!(scale > 0 && scale <= 30, "scale out of supported range");
+    let n = 1u32 << scale;
+    let m = n as usize * avg_degree as usize;
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            let r = rng.next_f64();
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b {
+                dst |= 1;
+            } else if r < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edges.push((src, dst));
+    }
+    CooGraph::from_edges(n, edges)
+}
+
+fn build_er(n: u32, m: usize, seed: u64) -> CooGraph {
+    assert!(n > 0, "graph must have nodes");
+    let mut rng = SplitMix64::new(seed);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as NodeId,
+                rng.next_below(n as u64) as NodeId,
+            )
+        })
+        .collect();
+    CooGraph::from_edges(n, edges)
+}
+
+fn build_ba(n: u32, m_attach: u32, seed: u64) -> CooGraph {
+    assert!(m_attach > 0, "each node must attach somewhere");
+    assert!(n > m_attach, "need a seed clique larger than m_attach");
+    let mut rng = SplitMix64::new(seed);
+    // Repeated-endpoint list: sampling an index uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = (0..=m_attach).collect();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for v in (m_attach + 1)..n {
+        for _ in 0..m_attach {
+            let t = endpoints[rng.next_below(endpoints.len() as u64) as usize];
+            edges.push((v, t));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    // The seed nodes form a small ring so nothing is isolated.
+    for i in 0..=m_attach {
+        edges.push((i, (i + 1) % (m_attach + 1)));
+    }
+    let extra = edges.len() - (n - m_attach) as usize * m_attach as usize;
+    // Trim the ring edges beyond the advertised count deterministically.
+    edges.truncate(edges.len() - extra.min(edges.len()));
+    CooGraph::from_edges(n, edges)
+}
+
+fn build_ws(n: u32, k: u32, beta: f64, seed: u64) -> CooGraph {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "lattice degree must be even and >= 2"
+    );
+    assert!(n > k, "ring must be larger than its degree");
+    assert!((0.0..=1.0).contains(&beta), "beta in [0,1]");
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(n as usize * k as usize);
+    for v in 0..n {
+        for j in 1..=k / 2 {
+            for t in [(v + j) % n, (v + n - j) % n] {
+                let dst = if rng.chance(beta) {
+                    rng.next_below(n as u64) as NodeId
+                } else {
+                    t
+                };
+                edges.push((v, dst));
+            }
+        }
+    }
+    CooGraph::from_edges(n, edges)
+}
+
+/// Samples a Pareto-distributed out-degree with shape `alpha`, capped.
+fn pareto_degree(rng: &mut SplitMix64, alpha: f64, cap: u32) -> u32 {
+    let u = rng.next_f64().max(1e-12);
+    let x = u.powf(-1.0 / alpha);
+    (x as u32).clamp(1, cap)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_plc(
+    n: u32,
+    m: usize,
+    alpha: f64,
+    locality: f64,
+    community: u32,
+    scrambled: bool,
+    seed: u64,
+) -> CooGraph {
+    assert!(n > 0, "graph must have nodes");
+    assert!((0.0..=1.0).contains(&locality), "locality in [0,1]");
+    assert!(community > 0, "community size must be nonzero");
+    assert!(alpha > 1.0, "alpha must exceed 1 for finite mean");
+    let mut rng = SplitMix64::new(seed);
+
+    // Sample raw degrees, then scale to hit the edge budget exactly.
+    let mut deg: Vec<u64> = (0..n)
+        .map(|_| pareto_degree(&mut rng, alpha, n / 2 + 1) as u64)
+        .collect();
+    let total: u64 = deg.iter().sum();
+    let mut scaled: Vec<u64> = deg
+        .iter()
+        .map(|&d| (d as u128 * m as u128 / total as u128) as u64)
+        .collect();
+    let mut assigned: u64 = scaled.iter().sum();
+    // Distribute the rounding remainder round-robin over high-degree nodes.
+    let mut i = 0usize;
+    while assigned < m as u64 {
+        scaled[i % n as usize] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    deg = scaled;
+
+    // Destination sampling: within-community uniform, or global Zipf-ish
+    // favouring low node ids (hubs) via squaring the uniform variate.
+    let n_comms = n.div_ceil(community);
+    let mut edges = Vec::with_capacity(m);
+    for (src, &d) in deg.iter().enumerate() {
+        let src = src as u32;
+        let comm = src / community;
+        for _ in 0..d {
+            let dst = if rng.chance(locality) {
+                let base = comm * community;
+                let size = community.min(n - base);
+                base + rng.next_below(size as u64) as u32
+            } else {
+                // Hubs (low ids within a random community) attract links.
+                let target_comm = rng.next_below(n_comms as u64) as u32;
+                let base = target_comm * community;
+                let size = community.min(n - base) as f64;
+                let frac = rng.next_f64();
+                base + ((frac * frac) * size) as u32
+            };
+            edges.push((src, dst.min(n - 1)));
+        }
+    }
+
+    let g = CooGraph::from_edges(n, edges);
+    if scrambled {
+        let mut perm: Vec<NodeId> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        g.relabel(&perm)
+    } else {
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_sizes_match_spec() {
+        let spec = GraphSpec::rmat(10, 16);
+        let g = spec.build(3);
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 1024 * 16);
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = GraphSpec::rmat(8, 8).build(5);
+        let b = GraphSpec::rmat(8, 8).build(5);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // RMAT should concentrate many edges on few nodes: max out-degree
+        // well above average.
+        let g = GraphSpec::rmat(12, 8).build(7);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        assert!(max > 8 * 10, "max degree {max} not skewed");
+    }
+
+    #[test]
+    fn erdos_renyi_is_flat() {
+        let g = GraphSpec::erdos_renyi(4096, 4096 * 8).build(9);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        assert!(max < 8 * 6, "ER max degree {max} unexpectedly skewed");
+    }
+
+    #[test]
+    fn plc_hits_edge_budget_exactly() {
+        let spec = GraphSpec::power_law_cluster(5000, 40_000, 2.0, 0.7, 256, false);
+        let g = spec.build(11);
+        assert_eq!(g.num_edges(), 40_000);
+        assert_eq!(g.num_nodes(), 5000);
+    }
+
+    #[test]
+    fn plc_locality_controls_intra_community_edges() {
+        let count_local = |locality: f64| {
+            let g = GraphSpec::power_law_cluster(4096, 40_000, 2.0, locality, 256, false).build(13);
+            g.edges()
+                .iter()
+                .filter(|&&(s, d)| s / 256 == d / 256)
+                .count()
+        };
+        let hi = count_local(0.9);
+        let lo = count_local(0.1);
+        assert!(hi > 2 * lo, "locality knob ineffective: {hi} vs {lo}");
+    }
+
+    #[test]
+    fn plc_scramble_preserves_structure() {
+        let base = GraphSpec::power_law_cluster(2048, 20_000, 2.0, 0.8, 128, false).build(17);
+        let scr = GraphSpec::power_law_cluster(2048, 20_000, 2.0, 0.8, 128, true).build(17);
+        assert_eq!(base.num_edges(), scr.num_edges());
+        // Degree distribution is preserved (as a multiset).
+        let mut d1 = base.out_degrees();
+        let mut d2 = scr.out_degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+        // But label locality is destroyed.
+        let local = |g: &CooGraph| {
+            g.edges()
+                .iter()
+                .filter(|&&(s, d)| s / 128 == d / 128)
+                .count()
+        };
+        assert!(local(&base) > 3 * local(&scr));
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs_on_early_nodes() {
+        let g = GraphSpec::barabasi_albert(4096, 4).build(31);
+        assert_eq!(g.num_edges(), g.num_nodes() as usize * 4 - 4 * 4);
+        let indeg = g.in_degrees();
+        let early_max = indeg[..64].iter().max().copied().unwrap();
+        let late_max = indeg[2048..].iter().max().copied().unwrap();
+        assert!(
+            early_max > 4 * late_max,
+            "early {early_max} vs late {late_max}: no preferential attachment"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_degree_and_rewiring() {
+        let ordered = GraphSpec::watts_strogatz(1024, 6, 0.0).build(3);
+        assert_eq!(ordered.num_edges(), 1024 * 6);
+        // beta = 0: pure lattice, every out-degree exactly k.
+        assert!(ordered.out_degrees().iter().all(|&d| d == 6));
+        // beta = 1: targets scattered; long-range edges appear.
+        let rewired = GraphSpec::watts_strogatz(1024, 6, 1.0).build(3);
+        let long = rewired
+            .edges()
+            .iter()
+            .filter(|&&(s, d)| {
+                let dist = (s as i64 - d as i64)
+                    .unsigned_abs()
+                    .min(1024 - (s as i64 - d as i64).unsigned_abs());
+                dist > 10
+            })
+            .count();
+        assert!(
+            long > rewired.num_edges() / 2,
+            "only {long} long-range edges"
+        );
+    }
+
+    #[test]
+    fn ws_and_ba_are_deterministic() {
+        assert_eq!(
+            GraphSpec::barabasi_albert(256, 3).build(7).edges(),
+            GraphSpec::barabasi_albert(256, 3).build(7).edges()
+        );
+        assert_eq!(
+            GraphSpec::watts_strogatz(256, 4, 0.2).build(7).edges(),
+            GraphSpec::watts_strogatz(256, 4, 0.2).build(7).edges()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_probs() {
+        let _ = GraphSpec::Rmat {
+            scale: 4,
+            avg_degree: 2,
+            probs: (0.5, 0.5, 0.5, 0.5),
+        }
+        .build(0);
+    }
+}

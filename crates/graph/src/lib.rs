@@ -1,0 +1,41 @@
+//! Graph storage, synthetic generators, interval partitioning, the
+//! compressed on-DRAM layout of Fig. 4, and node-reordering preprocessing.
+//!
+//! The accelerator consumes graphs in **coordinate format** ([`CooGraph`]),
+//! partitions edges into `Qs × Qd` shards by source/destination interval
+//! ([`partition`]), and lays vertex arrays, compressed edges, and edge
+//! pointers out in a flat memory image ([`layout`]). Two optional
+//! preprocessing passes improve locality and balance ([`reorder`]):
+//! cache-line hashing and DBG degree grouping.
+//!
+//! Real Table II graphs (twitter, uk-2005, …) are not redistributable, so
+//! [`benchmarks`] provides deterministic synthetic stand-ins that match each
+//! graph's node/edge ratio, degree skew, and community structure at a
+//! laptop-friendly scale (see DESIGN.md for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use graph::gen::GraphSpec;
+//! use graph::partition::Partitioner;
+//!
+//! let g = GraphSpec::rmat(10, 8).build(7);
+//! let parts = Partitioner::new(1 << 9, 1 << 9).partition(&g);
+//! assert_eq!(parts.total_edges(), g.num_edges() as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod benchmarks;
+pub mod coo;
+pub mod gen;
+pub mod io;
+pub mod layout;
+pub mod partition;
+pub mod props;
+pub mod reorder;
+
+pub use coo::{CooGraph, NodeId};
+pub use gen::GraphSpec;
+pub use layout::{GraphImage, LayoutBuilder};
+pub use partition::{PartitionedGraph, Partitioner};

@@ -1,0 +1,369 @@
+//! Interval-based graph partitioning (Fig. 3) and the 32-bit compressed
+//! edge format (§III-C).
+//!
+//! Nodes are split into `Qs` source intervals of `Ns` nodes and `Qd`
+//! destination intervals of `Nd` nodes; edges land in the `Qs × Qd` shard
+//! indexed by their endpoints' intervals. Partitioning is a stable O(M)
+//! counting sort — no edge sorting is ever required.
+
+use crate::coo::{CooGraph, NodeId};
+
+/// Maximum source-interval size: the compressed format stores a 16-bit
+/// source offset.
+pub const MAX_NS: u32 = 1 << 16;
+
+/// Maximum destination-interval size: the compressed format stores a 15-bit
+/// destination offset.
+pub const MAX_ND: u32 = 1 << 15;
+
+/// One compressed edge word: 15-bit destination offset, 16-bit source
+/// offset, and the `isTerminatingEdge` flag, in 32 bits — identical to the
+/// paper's encoding ("we always use 32 bits per unweighted edge").
+///
+/// Bit layout: `[31] terminating | [30:16] dst offset | [15:0] src offset`.
+///
+/// # Example
+///
+/// ```
+/// use graph::partition::CompressedEdge;
+/// let e = CompressedEdge::new(1234, 77);
+/// assert_eq!(e.src_offset(), 1234);
+/// assert_eq!(e.dst_offset(), 77);
+/// assert!(!e.is_terminating());
+/// assert!(CompressedEdge::TERMINATOR.is_terminating());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressedEdge(pub u32);
+
+impl CompressedEdge {
+    /// The shard-terminating marker appended after the last real edge.
+    pub const TERMINATOR: CompressedEdge = CompressedEdge(1 << 31);
+
+    /// Packs offsets into an edge word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_offset >= 2^16` or `dst_offset >= 2^15`.
+    pub fn new(src_offset: u32, dst_offset: u32) -> Self {
+        assert!(src_offset < MAX_NS, "source offset exceeds 16 bits");
+        assert!(dst_offset < MAX_ND, "destination offset exceeds 15 bits");
+        CompressedEdge((dst_offset << 16) | src_offset)
+    }
+
+    /// Source offset within the source interval (16 bits).
+    pub fn src_offset(self) -> u32 {
+        self.0 & 0xFFFF
+    }
+
+    /// Destination offset within the destination interval (15 bits).
+    pub fn dst_offset(self) -> u32 {
+        (self.0 >> 16) & 0x7FFF
+    }
+
+    /// `true` for the shard terminator.
+    pub fn is_terminating(self) -> bool {
+        self.0 >> 31 == 1
+    }
+
+    /// Raw 32-bit word as stored in DRAM.
+    pub fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an edge word from its DRAM representation.
+    pub fn from_bits(bits: u32) -> Self {
+        CompressedEdge(bits)
+    }
+}
+
+/// All edges of one `(source interval, destination interval)` shard, in
+/// arrival order, with optional parallel weights.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Shard {
+    /// Compressed edges (without the terminator; the layout appends it).
+    pub edges: Vec<CompressedEdge>,
+    /// Per-edge weights when the graph is weighted.
+    pub weights: Option<Vec<u32>>,
+}
+
+impl Shard {
+    /// Number of real edges in the shard.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the shard holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Configuration of the interval partitioner: `Ns` and `Nd` may differ
+/// because source and destination intervals serve different purposes
+/// (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    ns: u32,
+    nd: u32,
+}
+
+impl Partitioner {
+    /// Creates a partitioner with source intervals of `ns` nodes and
+    /// destination intervals of `nd` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is zero or exceeds 2^16, or `nd` is zero or exceeds
+    /// 2^15 (the compressed-format offset widths).
+    pub fn new(ns: u32, nd: u32) -> Self {
+        assert!(ns > 0 && ns <= MAX_NS, "Ns must be in 1..=65536");
+        assert!(nd > 0 && nd <= MAX_ND, "Nd must be in 1..=32768");
+        Partitioner { ns, nd }
+    }
+
+    /// Source interval size.
+    pub fn ns(&self) -> u32 {
+        self.ns
+    }
+
+    /// Destination interval size.
+    pub fn nd(&self) -> u32 {
+        self.nd
+    }
+
+    /// Partitions `g` into shards with a stable O(M) counting sort.
+    pub fn partition(&self, g: &CooGraph) -> PartitionedGraph {
+        let n = g.num_nodes();
+        let qs = n.div_ceil(self.ns).max(1) as usize;
+        let qd = n.div_ceil(self.nd).max(1) as usize;
+        let nshards = qs * qd;
+
+        // Counting sort by shard index (d-major to match the job order).
+        let shard_of = |s: NodeId, d: NodeId| -> usize {
+            let si = (s / self.ns) as usize;
+            let di = (d / self.nd) as usize;
+            di * qs + si
+        };
+        let mut counts = vec![0usize; nshards];
+        for &(s, d) in g.edges() {
+            counts[shard_of(s, d)] += 1;
+        }
+        let mut shards: Vec<Shard> = counts
+            .iter()
+            .map(|&c| Shard {
+                edges: Vec::with_capacity(c),
+                weights: g.is_weighted().then(|| Vec::with_capacity(c)),
+            })
+            .collect();
+        for i in 0..g.num_edges() {
+            let (s, d, w) = g.edge(i);
+            let idx = shard_of(s, d);
+            let e = CompressedEdge::new(s % self.ns, d % self.nd);
+            shards[idx].edges.push(e);
+            if let Some(ws) = &mut shards[idx].weights {
+                ws.push(w);
+            }
+        }
+
+        PartitionedGraph {
+            ns: self.ns,
+            nd: self.nd,
+            qs,
+            qd,
+            num_nodes: n,
+            weighted: g.is_weighted(),
+            shards,
+        }
+    }
+}
+
+/// A graph partitioned into `Qs × Qd` shards, ready for layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedGraph {
+    ns: u32,
+    nd: u32,
+    qs: usize,
+    qd: usize,
+    num_nodes: u32,
+    weighted: bool,
+    /// Shards in d-major order: index `d * qs + s`.
+    shards: Vec<Shard>,
+}
+
+impl PartitionedGraph {
+    /// Number of source intervals.
+    pub fn qs(&self) -> usize {
+        self.qs
+    }
+
+    /// Number of destination intervals.
+    pub fn qd(&self) -> usize {
+        self.qd
+    }
+
+    /// Source interval size.
+    pub fn ns(&self) -> u32 {
+        self.ns
+    }
+
+    /// Destination interval size.
+    pub fn nd(&self) -> u32 {
+        self.nd
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// `true` when edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// The shard for source interval `s` and destination interval `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= qs` or `d >= qd`.
+    pub fn shard(&self, s: usize, d: usize) -> &Shard {
+        assert!(s < self.qs && d < self.qd, "shard index out of range");
+        &self.shards[d * self.qs + s]
+    }
+
+    /// Total number of edges across all shards.
+    pub fn total_edges(&self) -> u64 {
+        self.shards.iter().map(|sh| sh.len() as u64).sum()
+    }
+
+    /// Iterates the shard's edges decompressed to `(src, dst, weight)`
+    /// global node ids; weight is 1 when unweighted.
+    pub fn iter_shard_edges(
+        &self,
+        s: usize,
+        d: usize,
+    ) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        let shard = self.shard(s, d);
+        let s_base = s as u32 * self.ns;
+        let d_base = d as u32 * self.nd;
+        shard.edges.iter().enumerate().map(move |(i, e)| {
+            let w = shard.weights.as_ref().map_or(1, |ws| ws[i]);
+            (s_base + e.src_offset(), d_base + e.dst_offset(), w)
+        })
+    }
+
+    /// Number of in-edges per destination interval — the per-job work used
+    /// to study balance (§IV-E).
+    pub fn in_edges_per_interval(&self) -> Vec<u64> {
+        (0..self.qd)
+            .map(|d| (0..self.qs).map(|s| self.shard(s, d).len() as u64).sum())
+            .collect()
+    }
+
+    /// First node id of destination interval `d`.
+    pub fn d_interval_base(&self, d: usize) -> u32 {
+        d as u32 * self.nd
+    }
+
+    /// Number of nodes in destination interval `d` (the last interval may
+    /// be short).
+    pub fn d_interval_len(&self, d: usize) -> u32 {
+        let base = self.d_interval_base(d);
+        self.nd.min(self.num_nodes - base)
+    }
+
+    /// First node id of source interval `s`.
+    pub fn s_interval_base(&self, s: usize) -> u32 {
+        s as u32 * self.ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GraphSpec;
+
+    #[test]
+    fn compressed_edge_round_trip() {
+        for (s, d) in [(0u32, 0u32), (65535, 32767), (1, 2), (40000, 20000)] {
+            let e = CompressedEdge::new(s, d);
+            assert_eq!(e.src_offset(), s);
+            assert_eq!(e.dst_offset(), d);
+            assert!(!e.is_terminating());
+            assert_eq!(CompressedEdge::from_bits(e.to_bits()), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bits")]
+    fn src_offset_too_large_panics() {
+        let _ = CompressedEdge::new(1 << 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "15 bits")]
+    fn dst_offset_too_large_panics() {
+        let _ = CompressedEdge::new(0, 1 << 15);
+    }
+
+    #[test]
+    fn partition_preserves_all_edges() {
+        let g = GraphSpec::rmat(10, 8).build(3);
+        let p = Partitioner::new(256, 128).partition(&g);
+        assert_eq!(p.total_edges(), g.num_edges() as u64);
+        assert_eq!(p.qs(), 4);
+        assert_eq!(p.qd(), 8);
+
+        // Every original edge appears exactly once when decompressed.
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for d in 0..p.qd() {
+            for s in 0..p.qs() {
+                for (src, dst, _) in p.iter_shard_edges(s, d) {
+                    assert_eq!(src / 256, s as u32);
+                    assert_eq!(dst / 128, d as u32);
+                    seen.push((src, dst));
+                }
+            }
+        }
+        let mut orig: Vec<(u32, u32)> = g.edges().to_vec();
+        orig.sort_unstable();
+        seen.sort_unstable();
+        assert_eq!(orig, seen);
+    }
+
+    #[test]
+    fn partition_is_stable_within_shard() {
+        // Edges that fall in the same shard keep their input order.
+        let g = CooGraph::from_edges(8, vec![(0, 1), (1, 0), (0, 2), (1, 3)]);
+        let p = Partitioner::new(8, 8).partition(&g);
+        let edges: Vec<_> = p.iter_shard_edges(0, 0).collect();
+        assert_eq!(edges, vec![(0, 1, 1), (1, 0, 1), (0, 2, 1), (1, 3, 1)]);
+    }
+
+    #[test]
+    fn weighted_partition_carries_weights() {
+        let g = CooGraph::from_weighted_edges(4, vec![(0, 1), (2, 3)], vec![10, 20]);
+        let p = Partitioner::new(2, 2).partition(&g);
+        assert!(p.is_weighted());
+        let e: Vec<_> = p.iter_shard_edges(0, 0).collect();
+        assert_eq!(e, vec![(0, 1, 10)]);
+        let e: Vec<_> = p.iter_shard_edges(1, 1).collect();
+        assert_eq!(e, vec![(2, 3, 20)]);
+    }
+
+    #[test]
+    fn interval_lens_handle_ragged_tail() {
+        let g = CooGraph::from_edges(10, vec![]);
+        let p = Partitioner::new(4, 4).partition(&g);
+        assert_eq!(p.qd(), 3);
+        assert_eq!(p.d_interval_len(0), 4);
+        assert_eq!(p.d_interval_len(2), 2);
+    }
+
+    #[test]
+    fn in_edge_balance_reporting() {
+        let g = CooGraph::from_edges(4, vec![(0, 0), (1, 0), (2, 0), (3, 3)]);
+        let p = Partitioner::new(4, 2).partition(&g);
+        assert_eq!(p.in_edges_per_interval(), vec![3, 1]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Graph property metrics used to validate the synthetic Table II
+//! stand-ins: degree skew (drives MOMS merge opportunities) and label
+//! locality (drives cache-line reuse and the DBG/hashing trade-offs).
+
+use crate::coo::CooGraph;
+
+/// Summary statistics of a graph's structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphProps {
+    /// Nodes.
+    pub n: u32,
+    /// Edges.
+    pub m: u64,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// 99th-percentile out-degree.
+    pub p99_out_degree: u32,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Skew: p99 / mean out-degree (1 ≈ uniform; power-law graphs reach
+    /// 5–50). High skew means many reads target few source nodes — the
+    /// paper's request-merging opportunity (§I-C).
+    pub skew: f64,
+    /// Fraction of edges whose endpoints lie within the same 64-node
+    /// window of the label space — a proxy for the cache-line/community
+    /// locality that DBG and hashing manipulate (§IV-E).
+    pub label_locality: f64,
+    /// Fraction of nodes with no outgoing edges (dangling).
+    pub dangling: f64,
+}
+
+impl GraphProps {
+    /// Computes all metrics in O(N + M).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    pub fn measure(g: &CooGraph) -> GraphProps {
+        assert!(g.num_nodes() > 0, "graph must have nodes");
+        let n = g.num_nodes();
+        let m = g.num_edges() as u64;
+        let mut deg = g.out_degrees();
+        let mean = m as f64 / n as f64;
+        let dangling = deg.iter().filter(|&&d| d == 0).count() as f64 / n as f64;
+        let local = g
+            .edges()
+            .iter()
+            .filter(|&&(s, d)| s / 64 == d / 64)
+            .count() as f64
+            / (m as f64).max(1.0);
+        deg.sort_unstable();
+        let p99 = deg[(n as usize - 1) * 99 / 100];
+        let max = *deg.last().expect("nonempty");
+        GraphProps {
+            n,
+            m,
+            mean_out_degree: mean,
+            p99_out_degree: p99,
+            max_out_degree: max,
+            skew: if mean > 0.0 { p99 as f64 / mean } else { 0.0 },
+            label_locality: local,
+            dangling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GraphSpec;
+
+    #[test]
+    fn uniform_graph_has_low_skew() {
+        let g = GraphSpec::erdos_renyi(4096, 4096 * 16).build(3);
+        let p = GraphProps::measure(&g);
+        assert!(p.skew < 2.0, "ER skew {}", p.skew);
+        assert!((p.mean_out_degree - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmat_has_high_skew_and_dangling_nodes() {
+        let g = GraphSpec::rmat(12, 16).build(5);
+        let p = GraphProps::measure(&g);
+        assert!(p.skew > 3.0, "RMAT skew {}", p.skew);
+        assert!(p.dangling > 0.05, "RMAT dangling {}", p.dangling);
+        assert!(p.max_out_degree > p.p99_out_degree);
+    }
+
+    #[test]
+    fn clustered_labels_show_locality_scrambled_do_not() {
+        let clustered = GraphSpec::power_law_cluster(8192, 65536, 2.1, 0.85, 512, false).build(7);
+        let scrambled = GraphSpec::power_law_cluster(8192, 65536, 2.1, 0.85, 512, true).build(7);
+        let pc = GraphProps::measure(&clustered);
+        let ps = GraphProps::measure(&scrambled);
+        assert!(
+            pc.label_locality > 3.0 * ps.label_locality,
+            "clustered {} vs scrambled {}",
+            pc.label_locality,
+            ps.label_locality
+        );
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = GraphSpec::rmat(8, 4).build(9);
+        let p = GraphProps::measure(&g);
+        assert_eq!(p.n, g.num_nodes());
+        assert_eq!(p.m, g.num_edges() as u64);
+    }
+}

@@ -1,0 +1,313 @@
+//! Node-reordering preprocessing (§IV-E): cache-line hashing and DBG
+//! degree grouping, plus timing helpers for Table III.
+//!
+//! Both passes produce a *relabeling permutation* `perm` where node `i`
+//! gets new label `perm[i]`; passes compose left-to-right with
+//! [`compose`].
+
+use std::time::Instant;
+
+use simkit::SplitMix64;
+
+use crate::coo::{CooGraph, NodeId};
+
+/// Number of out-degree groups used by DBG reordering \[19\].
+pub const DBG_GROUPS: u32 = 8;
+
+/// Which preprocessing to apply before partitioning — the four variants of
+/// Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Preprocess {
+    /// Keep the original labeling.
+    None,
+    /// Hash whole cache lines across destination intervals (keeps lines
+    /// intact, balances jobs).
+    #[default]
+    Hash,
+    /// DBG degree grouping only.
+    Dbg,
+    /// DBG first, then cache-line hashing — the paper's default ("If not
+    /// specified, we enable both hashing and DBG").
+    DbgHash,
+}
+
+impl Preprocess {
+    /// All four variants in Fig. 13's order.
+    pub const ALL: [Preprocess; 4] = [
+        Preprocess::None,
+        Preprocess::Hash,
+        Preprocess::Dbg,
+        Preprocess::DbgHash,
+    ];
+
+    /// Short display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preprocess::None => "none",
+            Preprocess::Hash => "hash",
+            Preprocess::Dbg => "dbg",
+            Preprocess::DbgHash => "dbg+hash",
+        }
+    }
+}
+
+/// Wall-clock cost of each preprocessing stage, for Table III.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PreprocessTimes {
+    /// Seconds spent in cache-line hashing (0 when skipped).
+    pub hashing_s: f64,
+    /// Seconds spent in DBG grouping (0 when skipped).
+    pub dbg_s: f64,
+    /// Seconds spent applying the permutations to the edge list.
+    pub relabel_s: f64,
+}
+
+/// Checks that `perm` maps `0..n` onto `0..n` bijectively.
+pub fn is_permutation(perm: &[NodeId]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// The identity relabeling.
+pub fn identity(n: u32) -> Vec<NodeId> {
+    (0..n).collect()
+}
+
+/// Composes two relabelings: applying the result is equivalent to applying
+/// `first` and then `second`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn compose(first: &[NodeId], second: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(first.len(), second.len(), "permutation sizes must match");
+    first.iter().map(|&f| second[f as usize]).collect()
+}
+
+/// Cache-line hashing: keeps runs of `nodes_per_line` consecutive nodes
+/// (one cache line of node values) intact and pseudo-randomly permutes the
+/// *lines* across the label space.
+///
+/// This balances in-edges across destination intervals without destroying
+/// intra-line clustering — the paper's alternative to ForeGraph/FabGraph's
+/// per-node modulo hashing, which "may destroy any cluster that is
+/// preserved in the original labeling".
+///
+/// # Panics
+///
+/// Panics if `nodes_per_line` is zero.
+pub fn hash_cache_lines(n: u32, nodes_per_line: u32, seed: u64) -> Vec<NodeId> {
+    assert!(nodes_per_line > 0, "nodes_per_line must be nonzero");
+    let lines = n.div_ceil(nodes_per_line);
+    let mut order: Vec<u32> = (0..lines).collect();
+    let mut rng = SplitMix64::new(seed);
+    rng.shuffle(&mut order);
+    // order[k] = which old line lands at position k. Assign new labels by
+    // walking lines in their new order; the (single, possibly short) ragged
+    // tail line just contributes fewer labels, keeping the result compact.
+    let mut perm = vec![0u32; n as usize];
+    let mut next = 0u32;
+    for &old_line in &order {
+        let base = old_line * nodes_per_line;
+        let len = nodes_per_line.min(n - base.min(n));
+        for off in 0..len {
+            perm[(base + off) as usize] = next;
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, n);
+    perm
+}
+
+/// DBG reordering \[19\]: coarsely partitions nodes into [`DBG_GROUPS`]
+/// groups by out-degree (hottest first), keeping the original order within
+/// each group. O(N) complexity.
+pub fn dbg_reorder(g: &CooGraph) -> Vec<NodeId> {
+    let deg = g.out_degrees();
+    let n = g.num_nodes();
+    let avg = (g.num_edges() as f64 / n.max(1) as f64).max(1.0);
+    // Group thresholds at avg * 2^k, as in the DBG paper's power-of-two
+    // binning around the average degree.
+    let group_of = |d: u32| -> u32 {
+        let mut t = avg * 8.0;
+        for grp in 0..DBG_GROUPS - 1 {
+            if d as f64 >= t {
+                return grp;
+            }
+            t /= 2.0;
+        }
+        DBG_GROUPS - 1
+    };
+    let mut counts = vec![0u32; DBG_GROUPS as usize];
+    for &d in &deg {
+        counts[group_of(d) as usize] += 1;
+    }
+    let mut base = vec![0u32; DBG_GROUPS as usize];
+    let mut acc = 0;
+    for (g, &c) in counts.iter().enumerate() {
+        base[g] = acc;
+        acc += c;
+    }
+    let mut next = base;
+    let mut perm = vec![0u32; n as usize];
+    for i in 0..n as usize {
+        let grp = group_of(deg[i]) as usize;
+        perm[i] = next[grp];
+        next[grp] += 1;
+    }
+    perm
+}
+
+/// Applies `pre` to `g`, returning the relabeled graph and stage timings.
+///
+/// `nodes_per_line` is the number of node values per 64 B cache line
+/// (16 for 32-bit values).
+pub fn apply(
+    g: &CooGraph,
+    pre: Preprocess,
+    nodes_per_line: u32,
+    seed: u64,
+) -> (CooGraph, PreprocessTimes) {
+    let mut times = PreprocessTimes::default();
+    let n = g.num_nodes();
+    let mut perm = identity(n);
+
+    if matches!(pre, Preprocess::Dbg | Preprocess::DbgHash) {
+        let t = Instant::now();
+        let dbg = dbg_reorder(g);
+        perm = compose(&perm, &dbg);
+        times.dbg_s = t.elapsed().as_secs_f64();
+    }
+    if matches!(pre, Preprocess::Hash | Preprocess::DbgHash) {
+        let t = Instant::now();
+        let hash = hash_cache_lines(n, nodes_per_line, seed);
+        perm = compose(&perm, &hash);
+        times.hashing_s = t.elapsed().as_secs_f64();
+    }
+
+    let t = Instant::now();
+    let out = if matches!(pre, Preprocess::None) {
+        g.clone()
+    } else {
+        g.relabel(&perm)
+    };
+    times.relabel_s = t.elapsed().as_secs_f64();
+    (out, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GraphSpec;
+
+    #[test]
+    fn identity_is_permutation() {
+        assert!(is_permutation(&identity(100)));
+    }
+
+    #[test]
+    fn detects_non_permutations() {
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[2, 0, 1]));
+    }
+
+    #[test]
+    fn compose_applies_in_order() {
+        // first: 0->1->2->0 rotation; second: swap 0 and 1.
+        let first = vec![1u32, 2, 0];
+        let second = vec![1u32, 0, 2];
+        let c = compose(&first, &second);
+        // node0: first->1, second(1)=0
+        assert_eq!(c, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn hash_cache_lines_is_permutation_even_when_ragged() {
+        for n in [16u32, 17, 100, 1000, 1023] {
+            let p = hash_cache_lines(n, 16, 9);
+            assert!(is_permutation(&p), "n={n}");
+        }
+    }
+
+    #[test]
+    fn hash_cache_lines_keeps_lines_contiguous() {
+        let n = 160;
+        let p = hash_cache_lines(n, 16, 3);
+        // Nodes within one old line stay consecutive and ordered.
+        for line in 0..(n / 16) {
+            let base = p[(line * 16) as usize];
+            for off in 1..16 {
+                assert_eq!(p[(line * 16 + off) as usize], base + off);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_cache_lines_moves_lines() {
+        let p = hash_cache_lines(1600, 16, 5);
+        assert_ne!(p, identity(1600), "shuffle should not be identity");
+    }
+
+    #[test]
+    fn dbg_groups_high_degree_first() {
+        let g = GraphSpec::rmat(10, 8).build(21);
+        let perm = dbg_reorder(&g);
+        assert!(is_permutation(&perm));
+        let deg = g.out_degrees();
+        // The hottest node must land in the first portion of the space.
+        let (hot, _) = deg.iter().enumerate().max_by_key(|&(_, d)| *d).unwrap();
+        assert!(
+            perm[hot] < g.num_nodes() / 4,
+            "hot node relabeled to {} of {}",
+            perm[hot],
+            g.num_nodes()
+        );
+        // A zero-degree node lands in the last group region.
+        if let Some((cold, _)) = deg.iter().enumerate().find(|&(_, d)| *d == 0) {
+            assert!(perm[cold] >= g.num_nodes() / 2);
+        }
+    }
+
+    #[test]
+    fn dbg_is_stable_within_group() {
+        let g = CooGraph::from_edges(6, vec![(0, 1), (2, 3), (4, 5)]);
+        // All sources have degree 1, all others 0: within each group the
+        // original order is preserved.
+        let perm = dbg_reorder(&g);
+        assert!(perm[0] < perm[2] && perm[2] < perm[4]);
+        assert!(perm[1] < perm[3] && perm[3] < perm[5]);
+    }
+
+    #[test]
+    fn apply_none_is_identity_and_fast() {
+        let g = GraphSpec::rmat(8, 4).build(1);
+        let (out, t) = apply(&g, Preprocess::None, 16, 0);
+        assert_eq!(out.edges(), g.edges());
+        assert_eq!(t.hashing_s, 0.0);
+        assert_eq!(t.dbg_s, 0.0);
+    }
+
+    #[test]
+    fn apply_dbg_hash_times_both_stages() {
+        let g = GraphSpec::rmat(10, 8).build(2);
+        let (out, t) = apply(&g, Preprocess::DbgHash, 16, 0);
+        assert_eq!(out.num_edges(), g.num_edges());
+        assert!(t.hashing_s > 0.0);
+        assert!(t.dbg_s > 0.0);
+        // Degree multiset preserved.
+        let mut d1 = g.out_degrees();
+        let mut d2 = out.out_degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+}

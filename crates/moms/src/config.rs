@@ -1,0 +1,250 @@
+//! Bank configuration presets.
+
+use crate::cache::CacheConfig;
+
+/// DynaBurst-style burst assembly (§V-A, \[5\]): primary misses wait a few
+/// cycles in an assembly buffer so that misses to nearby lines can be
+/// fetched as one DRAM burst, amortising per-transaction overhead at the
+/// cost of extra latency and possibly fetching unrequested lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstAssemblyConfig {
+    /// Lines per naturally aligned assembly window (power of two, ≤ 32 so
+    /// a window never crosses the 2,048 B channel-interleave boundary).
+    pub max_lines: u32,
+    /// Cycles a window waits for companions before being dispatched.
+    pub wait_cycles: u64,
+}
+
+impl BurstAssemblyConfig {
+    /// Validates the window geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lines` is not a power of two in `2..=32`.
+    pub fn validate(&self) {
+        assert!(
+            self.max_lines.is_power_of_two() && (2..=32).contains(&self.max_lines),
+            "assembly window must be a power of two in 2..=32 lines"
+        );
+    }
+}
+
+/// Configuration of one MOMS (or traditional nonblocking cache) bank.
+///
+/// The presets mirror §V-B: a paper-scale shared bank has 256 kB of
+/// direct-mapped cache, 4,096 MSHRs, and 32,768 subentries; private banks
+/// have 49,152 subentries; traditional caches have 16 fully associative
+/// MSHRs with 8 subentries each and no row chaining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MomsConfig {
+    /// Optional cache array; `None` models the cache-less MOMS of
+    /// Fig. 12/15.
+    pub cache: Option<CacheConfig>,
+    /// Total MSHR entries.
+    pub mshrs: usize,
+    /// Number of cuckoo hash ways (tables) the MSHR store uses; a value of
+    /// 0 selects a fully associative lookup (traditional caches).
+    pub cuckoo_ways: usize,
+    /// Maximum cuckoo displacement chain before the insertion stalls and
+    /// retries.
+    pub max_kicks: usize,
+    /// Total subentry slots.
+    pub subentries: usize,
+    /// Subentry slots per buffer row.
+    pub subentry_slots_per_row: usize,
+    /// When `true`, a full row links to a freshly allocated row
+    /// (MOMS behaviour); when `false`, a full row stalls the input until
+    /// the miss drains (traditional MSHR files).
+    pub chain_rows: bool,
+    /// Input queue depth.
+    pub in_queue: usize,
+    /// Output (response) queue depth.
+    pub out_queue: usize,
+    /// Memory-request queue depth.
+    pub mem_queue: usize,
+    /// Optional DynaBurst-style burst assembly for banks that talk
+    /// directly to DRAM (`None` = one line per request, the paper's final
+    /// choice).
+    pub burst_assembly: Option<BurstAssemblyConfig>,
+}
+
+impl MomsConfig {
+    /// Paper-scale shared MOMS bank: 256 kB direct-mapped cache, 4,096
+    /// MSHRs, 32,768 subentries.
+    pub fn paper_shared_bank() -> Self {
+        MomsConfig {
+            cache: Some(CacheConfig::direct_mapped_kib(256)),
+            mshrs: 4096,
+            cuckoo_ways: 4,
+            max_kicks: 8,
+            subentries: 32768,
+            subentry_slots_per_row: 4,
+            chain_rows: true,
+            in_queue: 8,
+            out_queue: 8,
+            mem_queue: 16,
+            burst_assembly: None,
+        }
+    }
+
+    /// Paper-scale private MOMS bank: 4,096 MSHRs and 49,152 subentries;
+    /// 256 kB 4-way cache when not backed by a shared MOMS.
+    pub fn paper_private_bank(with_cache: bool) -> Self {
+        MomsConfig {
+            cache: with_cache.then(|| CacheConfig::set_associative_kib(256, 4)),
+            mshrs: 4096,
+            cuckoo_ways: 4,
+            max_kicks: 8,
+            subentries: 49152,
+            subentry_slots_per_row: 4,
+            chain_rows: true,
+            in_queue: 8,
+            out_queue: 8,
+            mem_queue: 16,
+            burst_assembly: None,
+        }
+    }
+
+    /// Traditional nonblocking cache: 16 fully associative MSHRs with 8
+    /// subentries per MSHR and no chaining (§V-B).
+    pub fn traditional(cache: Option<CacheConfig>) -> Self {
+        MomsConfig {
+            cache,
+            mshrs: 16,
+            cuckoo_ways: 0,
+            max_kicks: 0,
+            subentries: 16 * 8,
+            subentry_slots_per_row: 8,
+            chain_rows: false,
+            in_queue: 8,
+            out_queue: 8,
+            mem_queue: 16,
+            burst_assembly: None,
+        }
+    }
+
+    /// Returns this configuration with DynaBurst-style burst assembly
+    /// enabled.
+    pub fn with_burst_assembly(mut self, ba: BurstAssemblyConfig) -> Self {
+        self.burst_assembly = Some(ba);
+        self
+    }
+
+    /// Returns this configuration with the cache array removed — the
+    /// "without cache" points of Fig. 12/15.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Returns this configuration with the cache array replaced.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Returns this configuration with MSHR and subentry capacities scaled
+    /// by `num/den` (used to keep on-chip:graph ratios when graphs are
+    /// scaled down; see EXPERIMENTS.md).
+    pub fn scaled(mut self, num: usize, den: usize) -> Self {
+        assert!(num > 0 && den > 0, "scale factors must be nonzero");
+        self.mshrs = (self.mshrs * num / den).max(16);
+        self.subentries = (self.subentries * num / den).max(32);
+        if let Some(c) = self.cache.take() {
+            self.cache = Some(c.scaled(num, den));
+        }
+        self
+    }
+
+    /// `true` when the MSHR store uses a fully associative lookup.
+    pub fn is_fully_associative(&self) -> bool {
+        self.cuckoo_ways == 0
+    }
+
+    /// Approximate on-chip memory bits used by this bank (cache data +
+    /// tags, MSHRs, subentries), for the resource model of Fig. 17.
+    pub fn memory_bits(&self) -> u64 {
+        let cache_bits = self
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.lines as u64 * (512 + 32));
+        // MSHR entry: ~64-bit line address/tag + row pointers.
+        let mshr_bits = self.mshrs as u64 * (48 + 2 * 18);
+        // Subentry: ID + word offset + valid.
+        let sub_bits = self.subentries as u64 * (16 + 4 + 1)
+            + (self.subentries / self.subentry_slots_per_row.max(1)) as u64 * 18;
+        cache_bits + mshr_bits + sub_bits
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities are zero or rows cannot hold a single entry.
+    pub fn validate(&self) {
+        assert!(self.mshrs > 0, "at least one MSHR required");
+        assert!(self.subentries > 0, "at least one subentry required");
+        assert!(
+            self.subentry_slots_per_row > 0,
+            "rows must hold at least one subentry"
+        );
+        assert!(self.in_queue > 0 && self.out_queue > 0 && self.mem_queue > 0);
+        if let Some(ba) = &self.burst_assembly {
+            ba.validate();
+        }
+        if !self.chain_rows {
+            // Traditional MSHR file: one row per MSHR.
+            assert!(
+                self.subentries >= self.mshrs,
+                "traditional file needs a row per MSHR"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MomsConfig::paper_shared_bank().validate();
+        MomsConfig::paper_private_bank(true).validate();
+        MomsConfig::paper_private_bank(false).validate();
+        MomsConfig::traditional(None).validate();
+    }
+
+    #[test]
+    fn traditional_is_fully_associative_non_chaining() {
+        let c = MomsConfig::traditional(None);
+        assert!(c.is_fully_associative());
+        assert!(!c.chain_rows);
+        assert_eq!(c.mshrs, 16);
+        assert_eq!(c.subentries, 128);
+    }
+
+    #[test]
+    fn without_cache_strips_array() {
+        let c = MomsConfig::paper_shared_bank().without_cache();
+        assert!(c.cache.is_none());
+        // Still a valid bank.
+        c.validate();
+    }
+
+    #[test]
+    fn scaled_keeps_minimums() {
+        let c = MomsConfig::paper_shared_bank().scaled(1, 1024);
+        assert!(c.mshrs >= 16);
+        assert!(c.subentries >= 32);
+        c.validate();
+    }
+
+    #[test]
+    fn memory_bits_orders_sane() {
+        // A full shared bank uses megabits; the traditional bank far less.
+        let big = MomsConfig::paper_shared_bank().memory_bits();
+        let small = MomsConfig::traditional(None).memory_bits();
+        assert!(big > 1_000_000, "{big}");
+        assert!(small < 50_000, "{small}");
+    }
+}

@@ -1,0 +1,362 @@
+//! Cuckoo-hashed MSHR store.
+//!
+//! The scalability trick of the MOMS (FPGA'19 \[6\]): MSHRs live in ordinary
+//! RAM indexed by d independent hash functions instead of a fully
+//! associative CAM, so thousands of entries fit in BRAM. An insertion that
+//! finds all d candidate slots occupied displaces one occupant
+//! ("kicks" it) to one of its alternative slots, possibly chaining; each
+//! kick costs a pipeline cycle, and a chain longer than `max_kicks` makes
+//! the insertion fail (the bank stalls and retries).
+
+/// Payload stored per MSHR: the subentry list handles plus a count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Cache-line address this MSHR tracks.
+    pub line: u64,
+    /// Head row index in the subentry buffer.
+    pub head_row: u32,
+    /// Tail row index in the subentry buffer.
+    pub tail_row: u32,
+    /// Number of pending subentries.
+    pub pending: u32,
+}
+
+/// Result of a cuckoo insertion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Entry placed; the insertion consumed `1 + kicks` pipeline cycles.
+    Placed {
+        /// Number of displacements performed.
+        kicks: u32,
+    },
+    /// The displacement chain exceeded `max_kicks`; the table is unchanged
+    /// and the caller must stall and retry.
+    Failed,
+}
+
+/// A d-ary cuckoo hash table of [`MshrEntry`]s keyed by line address, or a
+/// fully associative table when constructed with zero ways (traditional
+/// nonblocking caches).
+///
+/// # Example
+///
+/// ```
+/// use moms::cuckoo::{CuckooMshr, MshrEntry};
+///
+/// let mut t = CuckooMshr::new(64, 4, 8);
+/// let e = MshrEntry { line: 42, head_row: 0, tail_row: 0, pending: 1 };
+/// assert!(matches!(t.insert(e), moms::cuckoo::InsertOutcome::Placed { .. }));
+/// assert_eq!(t.lookup(42).unwrap().line, 42);
+/// assert!(t.remove(42).is_some());
+/// assert!(t.lookup(42).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuckooMshr {
+    /// `ways` tables of `slots_per_way` slots each; fully associative mode
+    /// uses a single linear table.
+    slots: Vec<Option<MshrEntry>>,
+    ways: usize,
+    slots_per_way: usize,
+    max_kicks: usize,
+    occupancy: usize,
+    peak_occupancy: usize,
+}
+
+impl CuckooMshr {
+    /// Creates a table with `capacity` total slots split over `ways` hash
+    /// tables (`ways == 0` selects fully associative lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not divisible by `ways` (when
+    /// `ways > 0`).
+    pub fn new(capacity: usize, ways: usize, max_kicks: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        if ways > 0 {
+            assert_eq!(capacity % ways, 0, "capacity must divide evenly by ways");
+        }
+        CuckooMshr {
+            slots: vec![None; capacity],
+            ways,
+            slots_per_way: capacity.checked_div(ways).unwrap_or(capacity),
+            max_kicks,
+            occupancy: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.occupancy == self.slots.len()
+    }
+
+    fn hash(&self, way: usize, line: u64) -> usize {
+        // SplitMix-style finalizer with a per-way tweak.
+        let mut z = line ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(way as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        way * self.slots_per_way + (z % self.slots_per_way as u64) as usize
+    }
+
+    /// Finds the entry for `line`, if present.
+    pub fn lookup(&self, line: u64) -> Option<&MshrEntry> {
+        if self.ways == 0 {
+            return self.slots.iter().flatten().find(|e| e.line == line);
+        }
+        for w in 0..self.ways {
+            if let Some(e) = &self.slots[self.hash(w, line)] {
+                if e.line == line {
+                    return Some(e);
+                }
+            }
+        }
+        None
+    }
+
+    /// Mutable lookup.
+    pub fn lookup_mut(&mut self, line: u64) -> Option<&mut MshrEntry> {
+        if self.ways == 0 {
+            return self.slots.iter_mut().flatten().find(|e| e.line == line);
+        }
+        for w in 0..self.ways {
+            let idx = self.hash(w, line);
+            if matches!(&self.slots[idx], Some(e) if e.line == line) {
+                return self.slots[idx].as_mut();
+            }
+        }
+        None
+    }
+
+    /// Inserts a fresh entry.
+    ///
+    /// Fully associative mode scans for any free slot. Cuckoo mode tries
+    /// the d candidate slots and then displaces occupants up to
+    /// `max_kicks` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if an entry for the same line already exists —
+    /// callers must use [`lookup_mut`](Self::lookup_mut) for secondary
+    /// misses.
+    pub fn insert(&mut self, entry: MshrEntry) -> InsertOutcome {
+        debug_assert!(self.lookup(entry.line).is_none(), "duplicate MSHR");
+        if self.ways == 0 {
+            if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+                *slot = Some(entry);
+                self.note_insert();
+                return InsertOutcome::Placed { kicks: 0 };
+            }
+            return InsertOutcome::Failed;
+        }
+
+        // Fast path: any empty candidate slot.
+        for w in 0..self.ways {
+            let idx = self.hash(w, entry.line);
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(entry);
+                self.note_insert();
+                return InsertOutcome::Placed { kicks: 0 };
+            }
+        }
+
+        // BFS over the cuckoo graph for an eviction path ending in an
+        // empty slot, bounded by `max_kicks` displacements. On success the
+        // entries along the path shift one step and the new entry takes
+        // the first slot; on failure the table is untouched. (Hardware
+        // performs the same displacements sequentially, one per cycle,
+        // which is the cost we report as `kicks`.)
+        let start: Vec<usize> = (0..self.ways).map(|w| self.hash(w, entry.line)).collect();
+        let mut parent: Vec<Option<usize>> = vec![None; self.slots.len()];
+        let mut depth: Vec<u32> = vec![u32::MAX; self.slots.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &s in &start {
+            if depth[s] == u32::MAX {
+                depth[s] = 1;
+                queue.push_back(s);
+            }
+        }
+        while let Some(slot) = queue.pop_front() {
+            if depth[slot] as usize > self.max_kicks {
+                continue;
+            }
+            let occupant = self.slots[slot].expect("BFS only visits occupied slots");
+            for w in 0..self.ways {
+                let alt = self.hash(w, occupant.line);
+                if alt == slot {
+                    continue;
+                }
+                if self.slots[alt].is_none() {
+                    // Found a path: shift entries from `slot` into `alt`,
+                    // walking parents back to a start slot.
+                    let kicks = depth[slot];
+                    self.slots[alt] = self.slots[slot];
+                    let mut cur = slot;
+                    while let Some(p) = parent[cur] {
+                        self.slots[cur] = self.slots[p];
+                        cur = p;
+                    }
+                    self.slots[cur] = Some(entry);
+                    self.note_insert();
+                    return InsertOutcome::Placed { kicks };
+                }
+                if depth[alt] == u32::MAX && (depth[slot] as usize) < self.max_kicks {
+                    depth[alt] = depth[slot] + 1;
+                    parent[alt] = Some(slot);
+                    queue.push_back(alt);
+                }
+            }
+        }
+        InsertOutcome::Failed
+    }
+
+    fn note_insert(&mut self) {
+        self.occupancy += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
+    }
+
+    /// Removes and returns the entry for `line`.
+    pub fn remove(&mut self, line: u64) -> Option<MshrEntry> {
+        if self.ways == 0 {
+            for slot in self.slots.iter_mut() {
+                if matches!(slot, Some(e) if e.line == line) {
+                    self.occupancy -= 1;
+                    return slot.take();
+                }
+            }
+            return None;
+        }
+        for w in 0..self.ways {
+            let idx = self.hash(w, line);
+            if matches!(&self.slots[idx], Some(e) if e.line == line) {
+                self.occupancy -= 1;
+                return self.slots[idx].take();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: u64) -> MshrEntry {
+        MshrEntry {
+            line,
+            head_row: 0,
+            tail_row: 0,
+            pending: 1,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove_round_trip() {
+        let mut t = CuckooMshr::new(64, 4, 8);
+        for l in 0..20u64 {
+            assert!(matches!(
+                t.insert(entry(l * 97)),
+                InsertOutcome::Placed { .. }
+            ));
+        }
+        assert_eq!(t.occupancy(), 20);
+        for l in 0..20u64 {
+            assert!(t.lookup(l * 97).is_some());
+        }
+        assert!(t.lookup(5).is_none());
+        for l in 0..20u64 {
+            assert!(t.remove(l * 97).is_some());
+        }
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.peak_occupancy(), 20);
+    }
+
+    #[test]
+    fn lookup_mut_updates_entry() {
+        let mut t = CuckooMshr::new(16, 4, 4);
+        t.insert(entry(7));
+        t.lookup_mut(7).unwrap().pending = 42;
+        assert_eq!(t.lookup(7).unwrap().pending, 42);
+    }
+
+    #[test]
+    fn cuckoo_reaches_high_load_factor() {
+        // 4-way cuckoo should comfortably fill well past 80%.
+        let cap = 1024;
+        let mut t = CuckooMshr::new(cap, 4, 16);
+        let mut inserted = 0;
+        for l in 0..cap as u64 {
+            match t.insert(entry(l.wrapping_mul(0x5851_F42D_4C95_7F2D))) {
+                InsertOutcome::Placed { .. } => inserted += 1,
+                InsertOutcome::Failed => break,
+            }
+        }
+        assert!(
+            inserted as f64 > 0.8 * cap as f64,
+            "load factor too low: {inserted}/{cap}"
+        );
+    }
+
+    #[test]
+    fn failed_insert_leaves_table_consistent() {
+        let mut t = CuckooMshr::new(8, 4, 2);
+        let mut lines = vec![];
+        // Fill until failure.
+        for l in 0..1000u64 {
+            match t.insert(entry(l)) {
+                InsertOutcome::Placed { .. } => lines.push(l),
+                InsertOutcome::Failed => break,
+            }
+        }
+        // Every placed line is still findable after the failure.
+        for &l in &lines {
+            assert!(t.lookup(l).is_some(), "lost line {l}");
+        }
+        assert_eq!(t.occupancy(), lines.len());
+    }
+
+    #[test]
+    fn fully_associative_mode() {
+        let mut t = CuckooMshr::new(4, 0, 0);
+        for l in [100u64, 200, 300, 400] {
+            assert!(matches!(
+                t.insert(entry(l)),
+                InsertOutcome::Placed { kicks: 0 }
+            ));
+        }
+        assert!(t.is_full());
+        assert!(matches!(t.insert(entry(500)), InsertOutcome::Failed));
+        assert!(t.lookup(300).is_some());
+        t.remove(300);
+        assert!(matches!(t.insert(entry(500)), InsertOutcome::Placed { .. }));
+    }
+
+    #[test]
+    fn kicks_are_reported() {
+        // Force collisions by filling a tiny table.
+        let mut t = CuckooMshr::new(8, 2, 8);
+        let mut total_kicks = 0;
+        for l in 0..8u64 {
+            if let InsertOutcome::Placed { kicks } = t.insert(entry(l)) {
+                total_kicks += kicks;
+            }
+        }
+        // With a 2-way table at high load some displacement must happen.
+        assert!(total_kicks > 0 || t.occupancy() < 8);
+    }
+}

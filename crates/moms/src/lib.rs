@@ -1,0 +1,62 @@
+//! Miss-optimized memory systems (MOMS): nonblocking caches that handle
+//! tens of thousands of simultaneous misses.
+//!
+//! This crate is the paper's primary contribution, modelled cycle by cycle:
+//!
+//! * [`cuckoo`] — the MSHR store: ordinary RAM addressed through d-ary
+//!   cuckoo hashing instead of an (unscalable) fully associative CAM.
+//! * [`subentry`] — the subentry buffer: per-miss metadata in linked rows,
+//!   so one in-flight cache line can serve thousands of pending misses.
+//! * [`cache`] — optional conventional cache arrays (direct-mapped or
+//!   set-associative); Fig. 12/15 show they are nearly redundant once the
+//!   MSHR count is large.
+//! * [`bank`] — the per-bank pipeline: cache lookup → MSHR lookup/allocate
+//!   → memory request on primary miss, subentry append on secondary miss,
+//!   and one-per-cycle replay on response, with all structural stalls.
+//! * [`system`] — shared, private, and two-level topologies over the banks
+//!   (Fig. 8) with crossbars, per-SLR die-crossing latencies, and the
+//!   64-bit shared→private response width limit.
+//!
+//! A *traditional* nonblocking cache (16 MSHRs, 8 subentries per MSHR,
+//! no row chaining) is the same bank in a different configuration
+//! ([`MomsConfig::traditional`]), which is exactly how the paper frames it.
+//!
+//! # Example
+//!
+//! ```
+//! use moms::{MomsBank, MomsConfig, MomsReq};
+//!
+//! let mut bank = MomsBank::new(MomsConfig::paper_shared_bank());
+//! bank.try_request(MomsReq { line: 3, word: 2, id: 7 });
+//! let mut now = 0;
+//! // Drive the bank until it emits the memory request, answer it, and
+//! // collect the replayed response.
+//! let resp = loop {
+//!     bank.tick(now);
+//!     if let Some((line, _count)) = bank.pop_mem_request() {
+//!         bank.push_mem_response(line);
+//!     }
+//!     if let Some(r) = bank.pop_response() {
+//!         break r;
+//!     }
+//!     now += 1;
+//!     assert!(now < 100);
+//! };
+//! assert_eq!(resp.id, 7);
+//! assert_eq!(resp.word, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod bank;
+pub mod cache;
+pub mod config;
+pub mod cuckoo;
+pub mod harness;
+pub mod subentry;
+pub mod system;
+
+pub use bank::{MomsBank, MomsReq, MomsResp};
+pub use cache::{CacheArray, CacheConfig};
+pub use config::MomsConfig;
+pub use system::{MomsSystem, MomsSystemConfig, Topology};

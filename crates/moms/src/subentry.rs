@@ -1,0 +1,292 @@
+//! The subentry buffer: per-miss metadata in linked rows.
+//!
+//! Every pending miss stores a *subentry* — the request ID and the word
+//! offset within the line — in a row belonging to its MSHR. Rows hold a
+//! fixed number of slots; in MOMS mode a full row links to a freshly
+//! allocated row (costing one pipeline cycle), while in traditional mode a
+//! full row stalls the input until the miss drains.
+
+/// One pending miss: request ID plus the 32-bit-word offset within the
+/// cache line (0..16 for 64 B lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subentry {
+    /// Issuer-chosen identifier (thread id / destination offset).
+    pub id: u32,
+    /// Word offset of the requested value within the line.
+    pub word: u8,
+}
+
+/// Sentinel row index meaning "no next row".
+pub const NO_ROW: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Row {
+    entries: Vec<Subentry>,
+    next: u32,
+}
+
+/// A pool of subentry rows with a free list, as stored in URAM (§V-B).
+///
+/// # Example
+///
+/// ```
+/// use moms::subentry::{Subentry, SubentryBuffer};
+///
+/// let mut buf = SubentryBuffer::new(16, 4, true);
+/// let head = buf.alloc_row().unwrap();
+/// let mut tail = head;
+/// for i in 0..6 {
+///     tail = buf.append(tail, Subentry { id: i, word: 0 }).unwrap();
+/// }
+/// let drained = buf.take_chain(head);
+/// assert_eq!(drained.len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubentryBuffer {
+    rows: Vec<Row>,
+    free: Vec<u32>,
+    slots_per_row: usize,
+    used_entries: usize,
+    peak_entries: usize,
+    chain_rows: bool,
+}
+
+/// Error returned when the buffer has no free row or (in traditional mode)
+/// the row is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubentryFull;
+
+impl std::fmt::Display for SubentryFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "subentry buffer full")
+    }
+}
+
+impl std::error::Error for SubentryFull {}
+
+impl SubentryBuffer {
+    /// Creates a buffer holding `total_entries` subentries in rows of
+    /// `slots_per_row`; `chain_rows` selects MOMS (true) or traditional
+    /// (false) overflow behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots_per_row` is zero or exceeds `total_entries`.
+    pub fn new(total_entries: usize, slots_per_row: usize, chain_rows: bool) -> Self {
+        assert!(slots_per_row > 0, "rows must hold at least one entry");
+        assert!(total_entries >= slots_per_row, "buffer smaller than a row");
+        let num_rows = total_entries / slots_per_row;
+        let rows = (0..num_rows)
+            .map(|_| Row {
+                entries: Vec::with_capacity(slots_per_row),
+                next: NO_ROW,
+            })
+            .collect();
+        SubentryBuffer {
+            rows,
+            free: (0..num_rows as u32).rev().collect(),
+            slots_per_row,
+            used_entries: 0,
+            peak_entries: 0,
+            chain_rows,
+        }
+    }
+
+    /// Number of rows not currently allocated.
+    pub fn free_rows(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Live subentries across all rows.
+    pub fn used_entries(&self) -> usize {
+        self.used_entries
+    }
+
+    /// Highest number of simultaneously live subentries observed.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Allocates an empty row, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubentryFull`] when no row is free.
+    pub fn alloc_row(&mut self) -> Result<u32, SubentryFull> {
+        let idx = self.free.pop().ok_or(SubentryFull)?;
+        debug_assert!(self.rows[idx as usize].entries.is_empty());
+        self.rows[idx as usize].next = NO_ROW;
+        Ok(idx)
+    }
+
+    /// Appends `e` to the chain whose *tail* row is `tail`, returning the
+    /// (possibly new) tail row index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubentryFull`] when the tail row is full and either
+    /// chaining is disabled or no free row remains. The buffer is
+    /// unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail` is not a valid allocated row.
+    pub fn append(&mut self, tail: u32, e: Subentry) -> Result<u32, SubentryFull> {
+        let t = tail as usize;
+        if self.rows[t].entries.len() < self.slots_per_row {
+            self.rows[t].entries.push(e);
+            self.used_entries += 1;
+            self.peak_entries = self.peak_entries.max(self.used_entries);
+            return Ok(tail);
+        }
+        if !self.chain_rows {
+            return Err(SubentryFull);
+        }
+        let new_tail = self.alloc_row()?;
+        self.rows[t].next = new_tail;
+        self.rows[new_tail as usize].entries.push(e);
+        self.used_entries += 1;
+        self.peak_entries = self.peak_entries.max(self.used_entries);
+        Ok(new_tail)
+    }
+
+    /// Returns a row allocated with [`alloc_row`](Self::alloc_row) that was
+    /// never written (used when a failed MSHR insertion abandons its row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row holds entries.
+    pub fn release_empty_row(&mut self, row: u32) {
+        assert!(
+            self.rows[row as usize].entries.is_empty(),
+            "row {row} is not empty"
+        );
+        self.rows[row as usize].next = NO_ROW;
+        self.free.push(row);
+    }
+
+    /// Drains the whole chain starting at `head`, freeing its rows and
+    /// returning the subentries in append order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not a valid allocated row.
+    pub fn take_chain(&mut self, head: u32) -> Vec<Subentry> {
+        let mut out = Vec::new();
+        let mut cur = head;
+        while cur != NO_ROW {
+            let row = &mut self.rows[cur as usize];
+            out.append(&mut row.entries);
+            let next = row.next;
+            row.next = NO_ROW;
+            self.free.push(cur);
+            cur = next;
+        }
+        self.used_entries -= out.len();
+        out
+    }
+
+    /// Number of subentries in the chain starting at `head` (O(rows)).
+    pub fn chain_len(&self, head: u32) -> usize {
+        let mut n = 0;
+        let mut cur = head;
+        while cur != NO_ROW {
+            n += self.rows[cur as usize].entries.len();
+            cur = self.rows[cur as usize].next;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_drain_preserves_order() {
+        let mut buf = SubentryBuffer::new(64, 4, true);
+        let head = buf.alloc_row().unwrap();
+        let mut tail = head;
+        for i in 0..10u32 {
+            tail = buf
+                .append(
+                    tail,
+                    Subentry {
+                        id: i,
+                        word: (i % 16) as u8,
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(buf.used_entries(), 10);
+        assert_eq!(buf.chain_len(head), 10);
+        let drained = buf.take_chain(head);
+        assert_eq!(
+            drained.iter().map(|s| s.id).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(buf.used_entries(), 0);
+        // All rows returned to the free list.
+        assert_eq!(buf.free_rows(), 16);
+    }
+
+    #[test]
+    fn chaining_allocates_rows() {
+        let mut buf = SubentryBuffer::new(12, 4, true);
+        let head = buf.alloc_row().unwrap();
+        assert_eq!(buf.free_rows(), 2);
+        let mut tail = head;
+        for i in 0..5u32 {
+            tail = buf.append(tail, Subentry { id: i, word: 0 }).unwrap();
+        }
+        assert_ne!(tail, head, "fifth entry should land in a chained row");
+        assert_eq!(buf.free_rows(), 1);
+    }
+
+    #[test]
+    fn traditional_mode_rejects_overflow() {
+        let mut buf = SubentryBuffer::new(16, 8, false);
+        let head = buf.alloc_row().unwrap();
+        let mut tail = head;
+        for i in 0..8u32 {
+            tail = buf.append(tail, Subentry { id: i, word: 0 }).unwrap();
+        }
+        assert_eq!(tail, head);
+        assert_eq!(
+            buf.append(tail, Subentry { id: 9, word: 0 }),
+            Err(SubentryFull)
+        );
+        // Drain then reuse.
+        assert_eq!(buf.take_chain(head).len(), 8);
+    }
+
+    #[test]
+    fn exhaustion_reports_full() {
+        let mut buf = SubentryBuffer::new(8, 4, true);
+        let a = buf.alloc_row().unwrap();
+        let _b = buf.alloc_row().unwrap();
+        assert_eq!(buf.alloc_row(), Err(SubentryFull));
+        // Fill row a, then overflow must fail (no free rows to chain).
+        let mut tail = a;
+        for i in 0..4u32 {
+            tail = buf.append(tail, Subentry { id: i, word: 0 }).unwrap();
+        }
+        assert_eq!(
+            buf.append(tail, Subentry { id: 4, word: 0 }),
+            Err(SubentryFull)
+        );
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut buf = SubentryBuffer::new(32, 4, true);
+        let head = buf.alloc_row().unwrap();
+        let mut tail = head;
+        for i in 0..7u32 {
+            tail = buf.append(tail, Subentry { id: i, word: 0 }).unwrap();
+        }
+        buf.take_chain(head);
+        assert_eq!(buf.used_entries(), 0);
+        assert_eq!(buf.peak_entries(), 7);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fixed-latency delay lines.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A fixed-latency, optionally bounded pipe.
+///
+/// An item pushed at cycle *c* becomes poppable at cycle *c + latency*.
+/// Unlike [`Fifo`](crate::Fifo), the delay line models a pipeline whose
+/// stages are always free to advance — it is used for die-crossing hops
+/// (Fig. 5 of the paper) and for response paths whose occupancy never
+/// exerts backpressure in the modelled design.
+///
+/// # Example
+///
+/// ```
+/// use simkit::DelayLine;
+/// let mut d = DelayLine::unbounded(3);
+/// d.push(10, "x");
+/// assert_eq!(d.pop_ready(12), None);
+/// assert_eq!(d.pop_ready(13), Some("x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: Cycle,
+    cap: Option<usize>,
+    items: VecDeque<(Cycle, T)>,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay line with the given latency and unlimited occupancy.
+    pub fn unbounded(latency: Cycle) -> Self {
+        DelayLine {
+            latency,
+            cap: None,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Creates a delay line holding at most `cap` in-flight items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn bounded(latency: Cycle, cap: usize) -> Self {
+        assert!(cap > 0, "delay line capacity must be nonzero");
+        DelayLine {
+            latency,
+            cap: Some(cap),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Latency in cycles between push and availability.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Number of in-flight items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when another item may enter this cycle.
+    pub fn can_push(&self) -> bool {
+        match self.cap {
+            Some(c) => self.items.len() < c,
+            None => true,
+        }
+    }
+
+    /// Inserts `item` at cycle `now`; it matures at `now + latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is bounded and full — callers must check
+    /// [`can_push`](Self::can_push) first, mirroring a hardware assertion
+    /// on a violated ready/valid contract.
+    pub fn push(&mut self, now: Cycle, item: T) {
+        assert!(self.can_push(), "push into full delay line");
+        self.items.push_back((now + self.latency, item));
+    }
+
+    /// Pops the oldest item if it has matured by cycle `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if let Some((ready, _)) = self.items.front() {
+            if *ready <= now {
+                return self.items.pop_front().map(|(_, t)| t);
+            }
+        }
+        None
+    }
+
+    /// Borrows the oldest item if it has matured by cycle `now`.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        match self.items.front() {
+            Some((ready, t)) if *ready <= now => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_mature_after_latency() {
+        let mut d = DelayLine::unbounded(5);
+        d.push(100, 1u8);
+        for c in 100..105 {
+            assert_eq!(d.pop_ready(c), None, "cycle {c}");
+        }
+        assert_eq!(d.pop_ready(105), Some(1));
+    }
+
+    #[test]
+    fn zero_latency_is_same_cycle() {
+        let mut d = DelayLine::unbounded(0);
+        d.push(7, 'a');
+        assert_eq!(d.pop_ready(7), Some('a'));
+    }
+
+    #[test]
+    fn preserves_order() {
+        let mut d = DelayLine::unbounded(2);
+        d.push(0, 1);
+        d.push(1, 2);
+        assert_eq!(d.pop_ready(3), Some(1));
+        assert_eq!(d.pop_ready(3), Some(2));
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let mut d = DelayLine::bounded(4, 2);
+        d.push(0, 1);
+        d.push(0, 2);
+        assert!(!d.can_push());
+        assert_eq!(d.pop_ready(4), Some(1));
+        assert!(d.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "full delay line")]
+    fn push_when_full_panics() {
+        let mut d = DelayLine::bounded(1, 1);
+        d.push(0, 1);
+        d.push(0, 2);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut d = DelayLine::unbounded(1);
+        d.push(0, 42);
+        assert_eq!(d.peek_ready(1), Some(&42));
+        assert_eq!(d.pop_ready(1), Some(42));
+        assert!(d.is_empty());
+    }
+}

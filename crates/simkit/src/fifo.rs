@@ -1,0 +1,201 @@
+//! Bounded two-phase FIFOs.
+
+use std::collections::VecDeque;
+
+/// Error returned by [`Fifo::push`] when the queue (including staged items)
+/// is at capacity.
+///
+/// The rejected item is handed back so the caller can retry next cycle,
+/// which is exactly what a stalled `valid/ready` producer does in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> std::fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fifo full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PushError<T> {}
+
+/// A bounded FIFO with registered (two-phase) semantics.
+///
+/// Items pushed during the current cycle are *staged* and only become
+/// visible to [`pop`](Fifo::pop)/[`peek`](Fifo::peek) after the next call to
+/// [`tick`](Fifo::tick). Capacity accounting covers both live and staged
+/// items, so a full FIFO exerts backpressure immediately, like a hardware
+/// FIFO whose `ready` deasserts when full.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Fifo;
+/// let mut f = Fifo::new(1);
+/// assert!(f.push(1u8).is_ok());
+/// assert!(f.push(2u8).is_err()); // full: staged item counts
+/// f.tick();
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    cap: usize,
+    live: VecDeque<T>,
+    staged: VecDeque<T>,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `cap` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero; a zero-capacity FIFO can never transfer data.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "fifo capacity must be nonzero");
+        Fifo {
+            cap,
+            live: VecDeque::new(),
+            staged: VecDeque::new(),
+        }
+    }
+
+    /// Total number of items, visible and staged.
+    pub fn len(&self) -> usize {
+        self.live.len() + self.staged.len()
+    }
+
+    /// `true` when no items are present at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when a push this cycle would succeed.
+    pub fn can_push(&self) -> bool {
+        self.len() < self.cap
+    }
+
+    /// Number of free slots.
+    pub fn free(&self) -> usize {
+        self.cap - self.len()
+    }
+
+    /// Capacity this FIFO was created with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Stages `item` for delivery next cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying the item back if the FIFO is full.
+    pub fn push(&mut self, item: T) -> Result<(), PushError<T>> {
+        if self.can_push() {
+            self.staged.push_back(item);
+            Ok(())
+        } else {
+            Err(PushError(item))
+        }
+    }
+
+    /// Removes and returns the oldest *visible* item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.live.pop_front()
+    }
+
+    /// Borrows the oldest visible item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.live.front()
+    }
+
+    /// Number of items currently visible to `pop`.
+    pub fn visible_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Advances one clock cycle: staged items become visible.
+    pub fn tick(&mut self) {
+        self.live.append(&mut self.staged);
+    }
+
+    /// Removes every item, visible and staged.
+    pub fn clear(&mut self) {
+        self.live.clear();
+        self.staged.clear();
+    }
+
+    /// Iterates over visible items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.live.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_visible_only_after_tick() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.visible_len(), 0);
+        assert_eq!(f.len(), 2);
+        f.tick();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn capacity_counts_staged() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.push(3), Err(PushError(3)));
+        f.tick();
+        // Still full: nothing popped.
+        assert!(!f.can_push());
+        assert_eq!(f.pop(), Some(1));
+        assert!(f.can_push());
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_ticks() {
+        let mut f = Fifo::new(8);
+        f.push(1).unwrap();
+        f.tick();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        f.tick();
+        let drained: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(drained, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_empties_both_phases() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.tick();
+        f.push(2).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        f.tick();
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn free_and_capacity_are_consistent() {
+        let mut f = Fifo::new(3);
+        assert_eq!(f.free(), 3);
+        f.push(9).unwrap();
+        assert_eq!(f.free(), 2);
+        assert_eq!(f.capacity(), 3);
+    }
+}

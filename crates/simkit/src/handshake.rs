@@ -1,0 +1,266 @@
+//! The inter-die crossing circuit of Fig. 5: a valid/ready handshake
+//! whose signals are registered on both dies with no combinational path
+//! in between.
+//!
+//! Because the `ready` signal from the receiving die takes two cycles to
+//! reach the sender, up to two tokens can already be in the crossing
+//! registers when the sender finally sees `ready` drop — so the receiving
+//! queue needs at least **four** slots to absorb them while sustaining
+//! one token per cycle (the exact argument in the paper's Fig. 5
+//! caption). [`CrossingLink::new`] therefore requires `queue_slots >= 4`;
+//! [`CrossingLink::new_unchecked`] lets tests demonstrate how smaller
+//! queues throttle the link with backpressure bubbles.
+
+use std::collections::VecDeque;
+
+/// A registered die-crossing link carrying one token per cycle at full
+/// throughput.
+///
+/// Call sequence per simulated cycle: the sender checks
+/// [`sender_ready`](Self::sender_ready) and optionally
+/// [`send`](Self::send)s one token; the receiver may
+/// [`pop`](Self::pop) one token; finally [`tick`](Self::tick) advances
+/// the registers.
+///
+/// # Example
+///
+/// ```
+/// use simkit::handshake::CrossingLink;
+///
+/// let mut link: CrossingLink<u32> = CrossingLink::new(4);
+/// let mut got = Vec::new();
+/// for cycle in 0..20u32 {
+///     if cycle < 10 && link.sender_ready() {
+///         link.send(cycle);
+///     }
+///     if let Some(v) = link.pop() {
+///         got.push(v);
+///     }
+///     link.tick();
+/// }
+/// while let Some(v) = link.pop() {
+///     got.push(v);
+///     link.tick();
+/// }
+/// assert_eq!(got, (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossingLink<T> {
+    /// Two pipeline registers on the forward (data) path.
+    stage_a: Option<T>,
+    stage_b: Option<T>,
+    /// Receiving-side queue.
+    queue: VecDeque<T>,
+    queue_slots: usize,
+    /// Two pipeline registers on the backward (ready) path: the sender
+    /// sees the queue's fill level as it was two cycles ago.
+    ready_b: bool,
+    ready_a: bool,
+    /// Tokens ever lost to overflow (always 0 with ≥4 slots).
+    dropped: u64,
+}
+
+impl<T> CrossingLink<T> {
+    /// Creates a link whose receiving queue holds `queue_slots` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_slots < 4` — fewer slots force early backpressure
+    /// and break full throughput (see module docs); use
+    /// [`new_unchecked`](Self::new_unchecked) to build such a link
+    /// deliberately.
+    pub fn new(queue_slots: usize) -> Self {
+        assert!(
+            queue_slots >= 4,
+            "a full-throughput registered crossing needs >= 4 queue slots (Fig. 5)"
+        );
+        Self::new_unchecked(queue_slots)
+    }
+
+    /// Creates a link without the 4-slot safety check.
+    pub fn new_unchecked(queue_slots: usize) -> Self {
+        assert!(queue_slots > 0, "queue must hold at least one token");
+        CrossingLink {
+            stage_a: None,
+            stage_b: None,
+            queue: VecDeque::new(),
+            queue_slots,
+            ready_b: true,
+            ready_a: true,
+            dropped: 0,
+        }
+    }
+
+    /// The sender-side `ready` — the queue state as seen through two
+    /// cycles of backward registers.
+    pub fn sender_ready(&self) -> bool {
+        self.ready_a
+    }
+
+    /// Places a token into the first crossing register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice in one cycle (the register is single-width)
+    /// — callers must check [`sender_ready`](Self::sender_ready) and send
+    /// at most once per cycle.
+    pub fn send(&mut self, t: T) {
+        assert!(self.stage_a.is_none(), "one token per cycle");
+        self.stage_a = Some(t);
+    }
+
+    /// Pops the oldest token from the receiving queue.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Tokens currently queued on the receiving die.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tokens lost to queue overflow (0 unless built with fewer than 4
+    /// slots via [`new_unchecked`](Self::new_unchecked)).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` when no token is in flight or queued.
+    pub fn is_empty(&self) -> bool {
+        self.stage_a.is_none() && self.stage_b.is_none() && self.queue.is_empty()
+    }
+
+    /// Advances one clock edge on both dies.
+    pub fn tick(&mut self) {
+        // Forward path: stage_b lands in the queue, stage_a shifts up.
+        if let Some(t) = self.stage_b.take() {
+            if self.queue.len() < self.queue_slots {
+                self.queue.push_back(t);
+            } else {
+                self.dropped += 1;
+            }
+        }
+        self.stage_b = self.stage_a.take();
+        // Backward path: the receiver's "space for the worst case" signal
+        // takes two cycles to reach the sender, during which the sender
+        // may emit two more tokens on top of the one whose enqueue just
+        // computed this signal — so deassert while fewer than 3 slots
+        // remain free. Occupancy is then bounded by exactly `queue_slots`.
+        let receiver_ready = self.queue.len() + 3 <= self.queue_slots;
+        self.ready_a = self.ready_b;
+        self.ready_b = receiver_ready;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    /// Drives `n` tokens through a link with a randomly stalling receiver;
+    /// returns (received, dropped).
+    fn drive(slots: usize, n: u32, stall_p: f64, seed: u64) -> (Vec<u32>, u64) {
+        let mut link: CrossingLink<u32> = CrossingLink::new_unchecked(slots);
+        let mut rng = SplitMix64::new(seed);
+        let mut sent = 0u32;
+        let mut got = Vec::new();
+        for _ in 0..20_000 {
+            if sent < n && link.sender_ready() {
+                link.send(sent);
+                sent += 1;
+            }
+            if !rng.chance(stall_p) {
+                if let Some(v) = link.pop() {
+                    got.push(v);
+                }
+            }
+            link.tick();
+            if sent == n && link.is_empty() {
+                break;
+            }
+        }
+        // Drain any stragglers.
+        while let Some(v) = link.pop() {
+            got.push(v);
+        }
+        (got, link.dropped())
+    }
+
+    #[test]
+    fn full_throughput_when_receiver_keeps_up() {
+        let mut link: CrossingLink<u32> = CrossingLink::new(4);
+        let mut got = 0u32;
+        let n = 1000;
+        let mut sent = 0;
+        let mut cycles = 0u64;
+        while got < n {
+            if sent < n && link.sender_ready() {
+                link.send(sent);
+                sent += 1;
+            }
+            if link.pop().is_some() {
+                got += 1;
+            }
+            link.tick();
+            cycles += 1;
+            assert!(cycles < 5000);
+        }
+        // One token per cycle plus the 2-cycle fill latency.
+        assert!(cycles <= n as u64 + 4, "{cycles} cycles for {n} tokens");
+    }
+
+    #[test]
+    fn four_slots_never_drop_under_random_stalls() {
+        for seed in 0..20 {
+            let (got, dropped) = drive(4, 500, 0.5, seed);
+            assert_eq!(dropped, 0, "seed {seed}");
+            assert_eq!(got, (0..500).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fewer_slots_are_safe_but_slow() {
+        // The Fig. 5 sizing argument: the conservative ready generation
+        // never loses tokens, but with under 4 slots it must deassert so
+        // early that the link cannot sustain one token per cycle.
+        let time_for = |slots: usize| -> u64 {
+            let mut link: CrossingLink<u32> = CrossingLink::new_unchecked(slots);
+            let n = 1000u32;
+            let (mut sent, mut got, mut cycles) = (0u32, 0u32, 0u64);
+            while got < n {
+                if sent < n && link.sender_ready() {
+                    link.send(sent);
+                    sent += 1;
+                }
+                if link.pop().is_some() {
+                    got += 1;
+                }
+                link.tick();
+                cycles += 1;
+                assert!(cycles < 100_000);
+            }
+            assert_eq!(link.dropped(), 0, "protocol must never drop");
+            cycles
+        };
+        let t4 = time_for(4);
+        let t3 = time_for(3);
+        assert!(t4 <= 1004, "4 slots must sustain full throughput: {t4}");
+        assert!(
+            t3 as f64 > 1.4 * t4 as f64,
+            "3 slots should throttle: {t3} vs {t4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "4 queue slots")]
+    fn constructor_enforces_fig5_minimum() {
+        let _ = CrossingLink::<u8>::new(3);
+    }
+
+    #[test]
+    fn tokens_keep_order() {
+        let (got, dropped) = drive(6, 300, 0.3, 99);
+        assert_eq!(dropped, 0);
+        assert_eq!(got, (0..300).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic cycle-level simulation primitives.
+//!
+//! This crate provides the small set of building blocks used by the DRAM,
+//! MOMS, and accelerator models to express registered, handshaked FPGA
+//! hardware in plain Rust:
+//!
+//! * [`Fifo`] — a bounded queue with *two-phase* semantics: items pushed
+//!   during cycle *c* become visible to `pop` only from cycle *c+1*. This
+//!   mirrors a registered FIFO and makes the simulation outcome independent
+//!   of the order in which components are ticked within a cycle.
+//! * [`DelayLine`] — a fixed-latency pipe, used for die crossings and deep
+//!   pipelines where only the latency (not per-stage occupancy) matters.
+//! * [`SplitMix64`] — a tiny, fully deterministic RNG so that workloads and
+//!   synthetic graphs are reproducible across platforms.
+//! * [`Stats`] — a name→counter registry for throughput/occupancy metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::Fifo;
+//!
+//! let mut f: Fifo<u32> = Fifo::new(2);
+//! f.push(7).unwrap();
+//! assert_eq!(f.pop(), None); // not yet visible
+//! f.tick();
+//! assert_eq!(f.pop(), Some(7));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod delay;
+pub mod fifo;
+pub mod handshake;
+pub mod rng;
+pub mod stats;
+
+pub use delay::DelayLine;
+pub use fifo::{Fifo, PushError};
+pub use handshake::CrossingLink;
+pub use rng::SplitMix64;
+pub use stats::Stats;
+
+/// Simulation time, in clock cycles of the modelled design.
+pub type Cycle = u64;

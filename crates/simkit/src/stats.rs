@@ -1,0 +1,161 @@
+//! Lightweight named-counter statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registry of named `u64` counters plus a few derived helpers.
+///
+/// Components increment counters as events occur; at the end of a run the
+/// harness reads them out to compute hit rates, stall fractions, and
+/// bandwidth. `BTreeMap` keeps reporting order stable.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Stats;
+/// let mut s = Stats::new();
+/// s.add("hits", 3);
+/// s.inc("misses");
+/// assert_eq!(s.get("hits"), 3);
+/// assert!((s.ratio("hits", "misses") - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `a / b` as `f64`; zero when `b` is zero.
+    pub fn ratio(&self, a: &str, b: &str) -> f64 {
+        let d = self.get(b);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(a) as f64 / d as f64
+        }
+    }
+
+    /// `a / (a + b)` as `f64`; zero when both are zero. Handy for hit rates.
+    pub fn fraction(&self, a: &str, b: &str) -> f64 {
+        let x = self.get(a);
+        let y = self.get(b);
+        if x + y == 0 {
+            0.0
+        } else {
+            x as f64 / (x + y) as f64
+        }
+    }
+
+    /// Merges another registry into this one, summing shared counters.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// `true` when no counter has been created.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.inc("x");
+        s.add("x", 4);
+        assert_eq!(s.get("x"), 5);
+        assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut s = Stats::new();
+        s.add("a", 10);
+        assert_eq!(s.ratio("a", "nothing"), 0.0);
+        s.add("b", 5);
+        assert!((s.ratio("a", "b") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_is_hit_rate_style() {
+        let mut s = Stats::new();
+        s.add("hits", 30);
+        s.add("misses", 10);
+        assert!((s.fraction("hits", "misses") - 0.75).abs() < 1e-12);
+        assert_eq!(Stats::new().fraction("h", "m"), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Stats::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn display_is_never_empty_per_counter() {
+        let mut s = Stats::new();
+        s.inc("only");
+        assert_eq!(s.to_string(), "only: 1\n");
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut s = Stats::new();
+        s.inc("b");
+        s.inc("a");
+        let names: Vec<_> = s.iter().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! full simulator: random graphs, random geometry, random configurations.
+
+use proptest::prelude::*;
+
+use accel::{PeConfig, System, SystemConfig};
+use algos::{golden, Algorithm};
+use dram::DramConfig;
+use graph::layout::{EdgePointer, LayoutBuilder, LayoutInit};
+use graph::partition::CompressedEdge;
+use graph::{CooGraph, Partitioner};
+use moms::cuckoo::{CuckooMshr, InsertOutcome, MshrEntry};
+use moms::{MomsConfig, MomsSystemConfig, Topology};
+
+/// Strategy: a random small directed graph (possibly weighted).
+fn arb_graph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = CooGraph> {
+    (2..max_nodes, 1..max_edges).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m)
+            .prop_map(move |edges| CooGraph::from_edges(n, edges))
+    })
+}
+
+fn small_config() -> SystemConfig {
+    SystemConfig {
+        dram: DramConfig::default(),
+        moms: MomsSystemConfig {
+            topology: Topology::TwoLevel,
+            num_pes: 2,
+            num_channels: 2,
+            shared_banks: 4,
+            shared: MomsConfig::paper_shared_bank()
+                .scaled(1, 64)
+                .without_cache(),
+            private: MomsConfig::paper_private_bank(false).scaled(1, 64),
+            pe_slr: moms::system::default_pe_slrs(2),
+            channel_slr: moms::system::default_channel_slrs(2),
+            crossing_latency: 4,
+            base_net_latency: 2,
+            resp_link_cycles_per_line: 8,
+        },
+        pe: PeConfig {
+            bram_nodes: 256,
+            ..PeConfig::default()
+        },
+        max_iterations: None,
+        execution: accel::ExecutionMode::AlgorithmDefault,
+        moms_trace_cap: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compressed_edge_round_trips(src in 0u32..65536, dst in 0u32..32768) {
+        let e = CompressedEdge::new(src, dst);
+        prop_assert_eq!(e.src_offset(), src);
+        prop_assert_eq!(e.dst_offset(), dst);
+        prop_assert!(!e.is_terminating());
+    }
+
+    #[test]
+    fn edge_pointer_round_trips(
+        addr in (0u64..1 << 30).prop_map(|a| a / 4 * 4),
+        edges in 0u64..1 << 23,
+        active: bool,
+    ) {
+        let p = EdgePointer::new(addr, edges, active);
+        prop_assert_eq!(p.byte_addr(), addr);
+        prop_assert_eq!(p.edge_count(), edges);
+        prop_assert_eq!(p.active(), active);
+    }
+
+    #[test]
+    fn partition_is_lossless(g in arb_graph(500, 2000), ns in 1u32..600, nd in 1u32..600) {
+        let parts = Partitioner::new(ns, nd).partition(&g);
+        prop_assert_eq!(parts.total_edges(), g.num_edges() as u64);
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for d in 0..parts.qd() {
+            for s in 0..parts.qs() {
+                for (src, dst, _) in parts.iter_shard_edges(s, d) {
+                    prop_assert!(src / ns == s as u32);
+                    prop_assert!(dst / nd == d as u32);
+                    seen.push((src, dst));
+                }
+            }
+        }
+        let mut orig = g.edges().to_vec();
+        orig.sort_unstable();
+        seen.sort_unstable();
+        prop_assert_eq!(orig, seen);
+    }
+
+    #[test]
+    fn layout_decodes_to_original_edges(g in arb_graph(300, 1000)) {
+        let parts = Partitioner::new(64, 64).partition(&g);
+        let init = LayoutInit {
+            vin: vec![7; g.num_nodes() as usize],
+            vconst: None,
+            synchronous: false,
+        };
+        let (gi, img) = LayoutBuilder::build(&parts, &init);
+        let mut count = 0u64;
+        for d in 0..gi.qd() {
+            for s in 0..gi.qs() {
+                let p = gi.edge_ptr(&img, d, s);
+                let mut a = p.byte_addr();
+                for _ in 0..p.edge_count() {
+                    let e = CompressedEdge::from_bits(img.read_u32(a));
+                    prop_assert!(!e.is_terminating());
+                    a += 4;
+                    count += 1;
+                }
+                prop_assert!(CompressedEdge::from_bits(img.read_u32(a)).is_terminating());
+            }
+        }
+        prop_assert_eq!(count, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn cuckoo_never_loses_entries(lines in proptest::collection::hash_set(0u64..100_000, 1..300)) {
+        let mut t = CuckooMshr::new(512, 4, 8);
+        let mut inserted = Vec::new();
+        for &l in &lines {
+            match t.insert(MshrEntry { line: l, head_row: 0, tail_row: 0, pending: 0 }) {
+                InsertOutcome::Placed { .. } => inserted.push(l),
+                InsertOutcome::Failed => {}
+            }
+        }
+        for &l in &inserted {
+            prop_assert!(t.lookup(l).is_some(), "lost {}", l);
+        }
+        prop_assert_eq!(t.occupancy(), inserted.len());
+        for &l in &inserted {
+            prop_assert!(t.remove(l).is_some());
+        }
+        prop_assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn simulator_matches_golden_bfs_on_random_graphs(g in arb_graph(400, 1500)) {
+        let algo = Algorithm::bfs(0);
+        let got = System::new(&g, Partitioner::new(256, 256), algo, small_config())
+            .run()
+            .values;
+        prop_assert_eq!(got, golden::run(&algo, &g));
+    }
+
+    #[test]
+    fn simulator_matches_golden_scc_on_random_graphs(g in arb_graph(300, 1200)) {
+        let algo = Algorithm::Scc;
+        let got = System::new(&g, Partitioner::new(128, 128), algo, small_config())
+            .run()
+            .values;
+        prop_assert_eq!(got, golden::run(&algo, &g));
+    }
+
+    #[test]
+    fn reorder_permutations_are_bijective(g in arb_graph(400, 800), seed in 0u64..1000) {
+        let dbg = graph::reorder::dbg_reorder(&g);
+        prop_assert!(graph::reorder::is_permutation(&dbg));
+        let hash = graph::reorder::hash_cache_lines(g.num_nodes(), 16, seed);
+        prop_assert!(graph::reorder::is_permutation(&hash));
+        let both = graph::reorder::compose(&dbg, &hash);
+        prop_assert!(graph::reorder::is_permutation(&both));
+    }
+}
