@@ -74,6 +74,16 @@ pub enum ExecutionMode {
     ForceSynchronous,
 }
 
+impl ExecutionMode {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionMode::AlgorithmDefault => "default",
+            ExecutionMode::ForceSynchronous => "sync",
+        }
+    }
+}
+
 /// Configuration of the full accelerator.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {

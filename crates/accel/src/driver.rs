@@ -22,7 +22,8 @@ use algos::Algorithm;
 use graph::{CooGraph, Partitioner};
 use moms::{MomsConfig, MomsSystemConfig, Topology};
 
-use crate::config::{ExecutionMode, PeConfig, SystemConfig};
+use crate::config::{ExecutionMode, SystemConfig};
+use crate::run_config::{CacheVariant, RunConfig};
 use crate::system::{RunResult, System};
 
 /// Builder for one-shot accelerator runs with sensible defaults.
@@ -126,40 +127,38 @@ impl Driver {
         nd
     }
 
-    /// Builds the [`SystemConfig`] this driver would use for `g`.
-    pub fn config(&self, g: &CooGraph) -> (SystemConfig, Partitioner) {
+    /// Lowers this driver's settings for `g` into the shared
+    /// [`RunConfig`] path.
+    pub fn run_config(&self, g: &CooGraph) -> RunConfig {
         let nd = self.auto_nd(g.num_nodes());
         let ns = (nd * 2).min(graph::partition::MAX_NS);
-        let mut shared = MomsConfig::paper_shared_bank().scaled(1, 16);
-        let mut private = MomsConfig::paper_private_bank(false).scaled(1, 16);
-        if self.cacheless {
-            shared = shared.without_cache();
-            private = private.without_cache();
-        }
-        let cfg = SystemConfig {
-            dram: dram::DramConfig::default(),
-            moms: MomsSystemConfig {
+        let mut rc = RunConfig::new(
+            MomsSystemConfig {
                 topology: self.topology,
                 num_pes: self.pes,
                 num_channels: self.channels,
                 shared_banks: 4 * self.channels,
-                shared,
-                private,
+                shared: MomsConfig::paper_shared_bank().scaled(1, 16),
+                private: MomsConfig::paper_private_bank(false).scaled(1, 16),
                 pe_slr: moms::system::default_pe_slrs(self.pes),
                 channel_slr: moms::system::default_channel_slrs(self.channels),
                 crossing_latency: 4,
                 base_net_latency: 2,
                 resp_link_cycles_per_line: 8,
             },
-            pe: PeConfig {
-                bram_nodes: nd,
-                ..PeConfig::default()
-            },
-            max_iterations: self.max_iterations,
-            execution: self.execution,
-            moms_trace_cap: 0,
-        };
-        (cfg, Partitioner::new(ns, nd))
+            (ns, nd),
+        );
+        if self.cacheless {
+            rc.caches = CacheVariant::None;
+        }
+        rc.execution = self.execution;
+        rc.max_iterations = self.max_iterations;
+        rc
+    }
+
+    /// Builds the [`SystemConfig`] this driver would use for `g`.
+    pub fn config(&self, g: &CooGraph) -> (SystemConfig, Partitioner) {
+        self.run_config(g).build()
     }
 
     /// Runs `algo` on `g` and returns the result.

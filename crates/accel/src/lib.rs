@@ -39,9 +39,11 @@
 pub mod config;
 pub mod driver;
 pub mod pe;
+pub mod run_config;
 pub mod system;
 
 pub use config::{ExecutionMode, PeConfig, SystemConfig};
 pub use driver::Driver;
 pub use pe::Pe;
-pub use system::{RunResult, System};
+pub use run_config::{CacheVariant, RunConfig};
+pub use system::{MetricsSnapshot, PeStallBreakdown, RunResult, System};

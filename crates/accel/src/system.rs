@@ -2,14 +2,15 @@
 //! Template 1 iteration loop.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use simkit::{Cycle, Stats};
 
 use algos::Algorithm;
-use dram::{DramRequest, MemImage, MemorySystem};
+use dram::{DramChannelSnapshot, DramRequest, MemImage, MemorySystem};
 use graph::layout::{LayoutBuilder, LayoutInit};
 use graph::{CooGraph, GraphImage, Partitioner};
-use moms::MomsSystem;
+use moms::{MomsSnapshot, MomsSystem};
 
 use crate::config::{ExecutionMode, SystemConfig};
 use crate::pe::{Job, Pe};
@@ -73,6 +74,53 @@ impl Scheduler {
     }
 }
 
+/// Stall and utilisation breakdown summed over every PE (§V-B's "what
+/// throttles each algorithm" analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeStallBreakdown {
+    /// Cycles with at least one gather retiring.
+    pub busy_cycles: u64,
+    /// Gather-pipeline stalls on read-after-write hazards (PageRank's
+    /// floating-point accumulate).
+    pub raw_stalls: u64,
+    /// Cycles the weighted-graph interface starved for free IDs.
+    pub id_starved: u64,
+    /// Requests refused by a full MOMS input port.
+    pub moms_backpressure: u64,
+}
+
+/// Structured metrics of one run: the MOMS, DRAM, and PE counters that
+/// experiments export, gathered once at the end of [`System::run`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// MOMS occupancy peaks and cache counters across every bank.
+    pub moms: MomsSnapshot,
+    /// Per-channel DRAM counters, in channel order.
+    pub dram: Vec<DramChannelSnapshot>,
+    /// Stall breakdown summed over PEs.
+    pub pe: PeStallBreakdown,
+}
+
+impl MetricsSnapshot {
+    /// All-channel DRAM counters summed.
+    pub fn dram_total(&self) -> DramChannelSnapshot {
+        let mut total = DramChannelSnapshot::default();
+        for ch in &self.dram {
+            total.accumulate(ch);
+        }
+        total
+    }
+
+    /// Achieved DRAM bandwidth per channel in GB/s over `cycles` at
+    /// `freq_mhz`.
+    pub fn dram_bandwidth_gbs(&self, cycles: Cycle, freq_mhz: f64) -> Vec<f64> {
+        self.dram
+            .iter()
+            .map(|ch| ch.bandwidth_gbs(cycles, freq_mhz))
+            .collect()
+    }
+}
+
 /// Result of a full run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -91,6 +139,8 @@ pub struct RunResult {
     /// Recorded `(pe, line)` MOMS requests (empty unless
     /// [`crate::SystemConfig::moms_trace_cap`] was set).
     pub moms_trace: Vec<(u16, u64)>,
+    /// Structured MOMS/DRAM/PE metrics gathered at the end of the run.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -232,6 +282,19 @@ impl System {
 
     /// Runs Template 1 to completion and returns the result.
     pub fn run(&mut self) -> RunResult {
+        self.run_with_deadline(None)
+            .expect("run without a deadline cannot time out")
+    }
+
+    /// Runs Template 1 to completion, giving up when the host wall clock
+    /// passes `deadline`.
+    ///
+    /// Returns `None` on timeout. The check is cooperative — the simulation
+    /// loop polls the clock every few tens of thousands of cycles — so no
+    /// watchdog threads are involved and a timed-out `System` is simply
+    /// dropped. After a timeout the partially simulated state is
+    /// inconsistent; do not call `run` again on the same instance.
+    pub fn run_with_deadline(&mut self, deadline: Option<Instant>) -> Option<RunResult> {
         let max_iter = self
             .cfg
             .max_iterations
@@ -241,6 +304,11 @@ impl System {
         let mut edges_total = 0u64;
 
         while iterations < max_iter {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return None;
+                }
+            }
             // Publish active flags into the edge pointers (host work).
             for d in 0..self.gi.qd() {
                 for (s, &active) in active_srcs.iter().enumerate() {
@@ -252,7 +320,7 @@ impl System {
                 break;
             }
             self.sched.begin_iteration(jobs.iter().copied());
-            edges_total += self.run_iteration();
+            edges_total += self.run_iteration(deadline)?;
             iterations += 1;
 
             let cont = self.sched.any_update || self.algo.always_active();
@@ -293,24 +361,46 @@ impl System {
         }
         stats.merge(&self.moms.stats());
         stats.merge(&self.mem.stats());
-        RunResult {
+        let moms_snap = self.moms.snapshot();
+        let metrics = MetricsSnapshot {
+            moms: moms_snap,
+            dram: self.mem.snapshot(),
+            pe: PeStallBreakdown {
+                busy_cycles: stats.get("busy_cycles"),
+                raw_stalls: stats.get("raw_stalls"),
+                id_starved: stats.get("id_starved"),
+                moms_backpressure: stats.get("moms_backpressure"),
+            },
+        };
+        Some(RunResult {
             cycles: self.now,
             iterations,
             edges_processed: edges_total,
             values,
-            cache_hit_rate: self.moms.cache_hit_rate(),
+            cache_hit_rate: moms_snap.banks.cache_hit_rate(),
             moms_trace: self.moms.take_trace(),
             stats,
-        }
+            metrics,
+        })
     }
 
-    /// Runs one iteration to completion; returns edges processed.
-    fn run_iteration(&mut self) -> u64 {
+    /// Runs one iteration to completion; returns edges processed, or
+    /// `None` if the wall-clock deadline expired mid-iteration.
+    fn run_iteration(&mut self, deadline: Option<Instant>) -> Option<u64> {
+        /// Cycles between wall-clock polls (the simulator runs on the
+        /// order of a million cycles per host second, so this checks a
+        /// few dozen times per second without measurable overhead).
+        const DEADLINE_POLL_MASK: u64 = (1 << 15) - 1;
         let mut edges = 0u64;
         let safety_limit = self.now + 2_000_000_000;
         loop {
             self.now += 1;
             let now = self.now;
+            if let Some(d) = deadline {
+                if now & DEADLINE_POLL_MASK == 0 && Instant::now() >= d {
+                    return None;
+                }
+            }
 
             // 1. Idle PEs pull jobs.
             for i in 0..self.pes.len() {
@@ -404,7 +494,7 @@ impl System {
                 "iteration did not converge within the cycle safety limit"
             );
         }
-        edges
+        Some(edges)
     }
 }
 

@@ -73,12 +73,12 @@ fn pagerank(g: &CooGraph, iterations: u32, threads: usize) -> CpuRun {
     let ranges = chunks(g.num_edges(), threads);
     for _ in 0..iterations {
         // Per-thread partial sums, reduced after the join.
-        let partials: Vec<Vec<f32>> = crossbeam::scope(|scope| {
+        let partials: Vec<Vec<f32>> = std::thread::scope(|scope| {
             let x = &x;
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|&(lo, hi)| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut sum = vec![0f32; n];
                         for i in lo..hi {
                             let (s, d, _) = g.edge(i);
@@ -92,8 +92,7 @@ fn pagerank(g: &CooGraph, iterations: u32, threads: usize) -> CpuRun {
                 .into_iter()
                 .map(|h| h.join().expect("worker"))
                 .collect()
-        })
-        .expect("scope");
+        });
         let base = 0.15f32 / n as f32;
         for i in 0..n {
             let sum: f32 = partials.iter().map(|p| p[i]).sum();
@@ -126,11 +125,11 @@ fn min_propagate(g: &CooGraph, algo: &Algorithm, threads: usize) -> CpuRun {
     loop {
         rounds += 1;
         let changed = AtomicBool::new(false);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for &(lo, hi) in &ranges {
                 let v = &v;
                 let changed = &changed;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in lo..hi {
                         let (s, d, w) = g.edge(i);
                         let u = v[s as usize].load(Ordering::Relaxed);
@@ -162,8 +161,7 @@ fn min_propagate(g: &CooGraph, algo: &Algorithm, threads: usize) -> CpuRun {
                     }
                 });
             }
-        })
-        .expect("scope");
+        });
         if !changed.load(Ordering::Relaxed) {
             break;
         }

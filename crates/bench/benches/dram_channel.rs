@@ -4,7 +4,7 @@
 //! (bursts ≈ 2x singles, §V-A) is asserted by the dram crate's unit tests;
 //! these numbers track how fast the simulator executes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::microbench::Group;
 
 use dram::{DramConfig, DramRequest, MemorySystem};
 
@@ -34,59 +34,44 @@ fn drain(mem: &mut MemorySystem, reqs: Vec<DramRequest>) {
     }
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dram");
+fn main() {
+    let mut group = Group::new("dram", 10);
     let lines = 8192u64;
-    group.throughput(Throughput::Bytes(lines * 64));
+    group.throughput_bytes(lines * 64);
 
-    group.bench_function("burst_32beat_1ch", |b| {
-        b.iter_batched(
-            || {
-                let mem = MemorySystem::new(DramConfig::default(), 1);
-                let reqs: Vec<_> = (0..lines / 32)
-                    .map(|i| DramRequest::read(i, i * 2048, 32))
-                    .collect();
-                (mem, reqs)
-            },
-            |(mut mem, reqs)| drain(&mut mem, reqs),
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench(
+        "burst_32beat_1ch",
+        || {
+            let mem = MemorySystem::new(DramConfig::default(), 1);
+            let reqs: Vec<_> = (0..lines / 32)
+                .map(|i| DramRequest::read(i, i * 2048, 32))
+                .collect();
+            (mem, reqs)
+        },
+        |(mut mem, reqs)| drain(&mut mem, reqs),
+    );
 
-    group.bench_function("single_line_1ch", |b| {
-        b.iter_batched(
-            || {
-                let mem = MemorySystem::new(DramConfig::default(), 1);
-                let reqs: Vec<_> = (0..lines)
-                    .map(|i| DramRequest::read(i, (i * 8_191) % (1 << 24) / 64 * 64, 1))
-                    .collect();
-                (mem, reqs)
-            },
-            |(mut mem, reqs)| drain(&mut mem, reqs),
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench(
+        "single_line_1ch",
+        || {
+            let mem = MemorySystem::new(DramConfig::default(), 1);
+            let reqs: Vec<_> = (0..lines)
+                .map(|i| DramRequest::read(i, (i * 8_191) % (1 << 24) / 64 * 64, 1))
+                .collect();
+            (mem, reqs)
+        },
+        |(mut mem, reqs)| drain(&mut mem, reqs),
+    );
 
-    group.bench_function("single_line_4ch", |b| {
-        b.iter_batched(
-            || {
-                let mem = MemorySystem::new(DramConfig::default(), 4);
-                let reqs: Vec<_> = (0..lines)
-                    .map(|i| DramRequest::read(i, (i * 8_191) % (1 << 24) / 64 * 64, 1))
-                    .collect();
-                (mem, reqs)
-            },
-            |(mut mem, reqs)| drain(&mut mem, reqs),
-            BatchSize::LargeInput,
-        )
-    });
-
-    group.finish();
+    group.bench(
+        "single_line_4ch",
+        || {
+            let mem = MemorySystem::new(DramConfig::default(), 4);
+            let reqs: Vec<_> = (0..lines)
+                .map(|i| DramRequest::read(i, (i * 8_191) % (1 << 24) / 64 * 64, 1))
+                .collect();
+            (mem, reqs)
+        },
+        |(mut mem, reqs)| drain(&mut mem, reqs),
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_dram
-}
-criterion_main!(benches);

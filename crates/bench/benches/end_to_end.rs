@@ -2,47 +2,37 @@
 //! paper algorithms on a small RMAT graph (simulation speed, and a quick
 //! regression check on simulated throughput).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::microbench::Group;
 
 use accel::{System, SystemConfig};
 use algos::Algorithm;
 use graph::{GraphSpec, Partitioner};
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let g = GraphSpec::rmat(12, 8).build(9);
     let gw = g.clone().with_random_weights(0, 255, 1);
-    let mut group = c.benchmark_group("end_to_end_rmat12");
-    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    let mut group = Group::new("end_to_end_rmat12", 10);
+    group.throughput_elements(g.num_edges() as u64);
 
     for (name, algo, graph) in [
         ("pagerank_2iter", Algorithm::PageRank { iterations: 2 }, &g),
         ("scc", Algorithm::Scc, &g),
         ("sssp", Algorithm::sssp(0), &gw),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    System::new(
-                        graph,
-                        Partitioner::new(1024, 1024),
-                        algo,
-                        SystemConfig::small(),
-                    )
-                },
-                |mut sys| {
-                    let r = sys.run();
-                    std::hint::black_box(r.cycles)
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench(
+            name,
+            || {
+                System::new(
+                    graph,
+                    Partitioner::new(1024, 1024),
+                    algo,
+                    SystemConfig::small(),
+                )
+            },
+            |mut sys| {
+                let r = sys.run();
+                std::hint::black_box(r.cycles)
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_end_to_end
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the MOMS bank pipeline: simulation throughput of
 //! hit-dominated, merge-dominated, and miss-dominated request streams.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::microbench::Group;
 
 use moms::{MomsBank, MomsConfig, MomsReq};
 use simkit::SplitMix64;
@@ -52,10 +52,10 @@ fn stream(count: usize, lines: u64, seed: u64) -> Vec<MomsReq> {
         .collect()
 }
 
-fn bench_bank(c: &mut Criterion) {
-    let mut group = c.benchmark_group("moms_bank");
+fn main() {
+    let mut group = Group::new("moms_bank", 10);
     let n = 20_000usize;
-    group.throughput(Throughput::Elements(n as u64));
+    group.throughput_elements(n as u64);
 
     for (name, lines, cfg) in [
         (
@@ -76,20 +76,10 @@ fn bench_bank(c: &mut Criterion) {
         ("traditional", 512, MomsConfig::traditional(None)),
     ] {
         let reqs = stream(n, lines, 42);
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || MomsBank::new(cfg.clone()),
-                |mut bank| drive_bank(&mut bank, &reqs, 45),
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench(
+            name,
+            || MomsBank::new(cfg.clone()),
+            |mut bank| drive_bank(&mut bank, &reqs, 45),
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bank
-}
-criterion_main!(benches);

@@ -1,45 +1,42 @@
 //! Benchmarks of the O(M)/O(N) preprocessing passes behind Table III:
 //! interval partitioning, cache-line hashing, and DBG reordering.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::microbench::Group;
 
 use graph::reorder::{self, Preprocess};
 use graph::{GraphSpec, Partitioner};
 
-fn bench_preprocessing(c: &mut Criterion) {
+fn main() {
     let g = GraphSpec::rmat(16, 16).build(7); // 65k nodes, 1M edges
     let m = g.num_edges() as u64;
 
-    let mut group = c.benchmark_group("preprocessing");
-    group.throughput(Throughput::Elements(m));
+    let mut group = Group::new("preprocessing", 10);
+    group.throughput_elements(m);
 
-    group.bench_function("partition_1M_edges", |b| {
-        b.iter(|| {
+    group.bench(
+        "partition_1M_edges",
+        || (),
+        |()| {
             let parts = Partitioner::new(4096, 2048).partition(&g);
             std::hint::black_box(parts.total_edges())
-        })
-    });
+        },
+    );
 
-    group.bench_function("hash_relabel_1M_edges", |b| {
-        b.iter(|| {
+    group.bench(
+        "hash_relabel_1M_edges",
+        || (),
+        |()| {
             let (out, _) = reorder::apply(&g, Preprocess::Hash, 16, 3);
             std::hint::black_box(out.num_edges())
-        })
-    });
+        },
+    );
 
-    group.bench_function("dbg_relabel_1M_edges", |b| {
-        b.iter(|| {
+    group.bench(
+        "dbg_relabel_1M_edges",
+        || (),
+        |()| {
             let (out, _) = reorder::apply(&g, Preprocess::Dbg, 16, 3);
             std::hint::black_box(out.num_edges())
-        })
-    });
-
-    group.finish();
+        },
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_preprocessing
-}
-criterion_main!(benches);

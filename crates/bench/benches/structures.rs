@@ -1,89 +1,81 @@
 //! Microbenchmarks of the MOMS core data structures: cuckoo MSHR table
 //! and subentry buffer — the per-cycle-critical paths of the bank.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::microbench::Group;
 
 use moms::cuckoo::{CuckooMshr, InsertOutcome, MshrEntry};
 use moms::subentry::{Subentry, SubentryBuffer};
 use simkit::SplitMix64;
 
-fn bench_cuckoo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cuckoo_mshr");
+fn bench_cuckoo() {
+    let mut group = Group::new("cuckoo_mshr", 10);
     let n = 3_000u64;
-    group.throughput(Throughput::Elements(n));
+    group.throughput_elements(n);
 
     for load in [0.5f64, 0.85] {
-        group.bench_function(format!("insert_lookup_remove_load{load}"), |b| {
-            b.iter_batched(
-                || {
-                    let cap = (n as f64 / load) as usize / 4 * 4 + 4;
-                    let mut rng = SplitMix64::new(7);
-                    let lines: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 20).collect();
-                    (CuckooMshr::new(cap, 4, 16), lines)
-                },
-                |(mut t, lines)| {
-                    let mut placed = 0u64;
-                    for &l in &lines {
-                        if matches!(
-                            t.insert(MshrEntry {
-                                line: l,
-                                head_row: 0,
-                                tail_row: 0,
-                                pending: 1,
-                            }),
-                            InsertOutcome::Placed { .. }
-                        ) {
-                            placed += 1;
-                        }
-                    }
-                    for &l in &lines {
-                        std::hint::black_box(t.lookup(l));
-                    }
-                    for &l in &lines {
-                        t.remove(l);
-                    }
-                    std::hint::black_box(placed)
-                },
-                BatchSize::LargeInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn bench_subentries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subentry_buffer");
-    let n = 10_000u32;
-    group.throughput(Throughput::Elements(n as u64));
-
-    group.bench_function("append_drain_chained", |b| {
-        b.iter_batched(
-            || SubentryBuffer::new(16_384, 4, true),
-            |mut buf| {
-                let head = buf.alloc_row().expect("space");
-                let mut tail = head;
-                for i in 0..n {
-                    tail = buf
-                        .append(
-                            tail,
-                            Subentry {
-                                id: i % 65536,
-                                word: (i % 16) as u8,
-                            },
-                        )
-                        .expect("space");
-                }
-                std::hint::black_box(buf.take_chain(head).len())
+        group.bench(
+            &format!("insert_lookup_remove_load{load}"),
+            || {
+                let cap = (n as f64 / load) as usize / 4 * 4 + 4;
+                let mut rng = SplitMix64::new(7);
+                let lines: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 20).collect();
+                (CuckooMshr::new(cap, 4, 16), lines)
             },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+            |(mut t, lines)| {
+                let mut placed = 0u64;
+                for &l in &lines {
+                    if matches!(
+                        t.insert(MshrEntry {
+                            line: l,
+                            head_row: 0,
+                            tail_row: 0,
+                            pending: 1,
+                        }),
+                        InsertOutcome::Placed { .. }
+                    ) {
+                        placed += 1;
+                    }
+                }
+                for &l in &lines {
+                    std::hint::black_box(t.lookup(l));
+                }
+                for &l in &lines {
+                    t.remove(l);
+                }
+                std::hint::black_box(placed)
+            },
+        );
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cuckoo, bench_subentries
+fn bench_subentries() {
+    let mut group = Group::new("subentry_buffer", 10);
+    let n = 10_000u32;
+    group.throughput_elements(n as u64);
+
+    group.bench(
+        "append_drain_chained",
+        || SubentryBuffer::new(16_384, 4, true),
+        |mut buf| {
+            let head = buf.alloc_row().expect("space");
+            let mut tail = head;
+            for i in 0..n {
+                tail = buf
+                    .append(
+                        tail,
+                        Subentry {
+                            id: i % 65536,
+                            word: (i % 16) as u8,
+                        },
+                    )
+                    .expect("space");
+            }
+            std::hint::black_box(buf.take_chain(head).len())
+        },
+    );
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_cuckoo();
+    bench_subentries();
+}

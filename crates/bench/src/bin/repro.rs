@@ -3,20 +3,38 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--full] [--shrink N]
+//! repro <experiment> [--full] [--shrink N] [--jobs N] [--timeout-secs S]
+//!                    [--out PATH] [--format json|csv]
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
-//!              fig16 fig17 ablate all
-//! --full      all 12 benchmarks and all 7 architectures (slow)
-//! --shrink N  extra graph shrink factor (default 4; 1 = largest scale)
+//!              fig16 fig17 ablate sweep syncasync paperscale related all
+//! --full           all 12 benchmarks and all 7 architectures (slow)
+//! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
+//! --jobs N         worker threads for engine-driven experiments
+//!                  (default: one per core)
+//! --timeout-secs S per-point wall-clock budget; expired points become
+//!                  `timed_out` rows instead of hanging the run
+//! --out PATH       write every simulated point as structured results
+//! --format F       json (default) or csv, for --out
 //! ```
 
+use std::time::Duration;
+
+use bench::engine::{self, EngineConfig};
 use bench::experiments::{self, Scope};
+use simkit::record::Format;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut scope = Scope::quick();
+    let mut engine_cfg = EngineConfig {
+        jobs: 0,
+        timeout: None,
+        progress: true,
+    };
+    let mut out_path: Option<String> = None;
+    let mut format = Format::Json;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,12 +46,47 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--shrink needs a number"));
             }
+            "--jobs" => {
+                i += 1;
+                engine_cfg.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number"));
+            }
+            "--timeout-secs" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--timeout-secs needs a number"));
+                engine_cfg.timeout = Some(Duration::from_secs(secs));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a path")),
+                );
+            }
+            "--format" => {
+                i += 1;
+                format = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--format is json or csv"));
+            }
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_owned()),
             s => usage(&format!("unknown argument {s}")),
         }
         i += 1;
     }
     let which = which.unwrap_or_else(|| usage("missing experiment name"));
+
+    engine::set_global_config(engine_cfg);
+    if out_path.is_some() {
+        engine::enable_recording();
+    }
 
     let run_one = |name: &str| match name {
         "table1" => print!("{}", experiments::table1::run()),
@@ -77,13 +130,24 @@ fn main() {
     } else {
         run_one(&which);
     }
+
+    if let Some(path) = out_path {
+        let results = engine::take_recorded().unwrap_or_default();
+        let rendered = format.render(&results);
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} result rows to {path}", results.len());
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|all> \
-         [--full] [--shrink N]"
+        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|all> \
+         [--full] [--shrink N] [--jobs N] [--timeout-secs S] \
+         [--out PATH] [--format json|csv]"
     );
     std::process::exit(2);
 }

@@ -145,30 +145,55 @@ pub mod table2 {
 /// Fig. 11: throughput per architecture for PageRank, SCC, SSSP.
 pub mod fig11 {
     use super::*;
+    use crate::engine::{self, PointSpec};
 
-    /// Runs the architecture exploration and prints GTEPS per point plus
-    /// per-architecture geometric means.
+    /// Runs the architecture exploration through the parallel engine and
+    /// prints GTEPS per point plus per-architecture geometric means.
+    /// Timed-out points render as `timeout` and drop out of the geomeans.
     pub fn run(scope: Scope) -> String {
+        let algos = scope.algos();
+        let benches = scope.benches();
+        let archs = scope.archs();
+        let mut points = Vec::new();
+        for &(algo, iters) in &algos {
+            for &b in &benches {
+                for &arch in &archs {
+                    let mut spec = spec_for(arch, &scope);
+                    spec.max_iterations = iters;
+                    points.push(PointSpec {
+                        bench: b,
+                        algo,
+                        spec,
+                    });
+                }
+            }
+        }
+        let results = engine::run_points(&points, &engine::global_config());
+
         let mut out = String::new();
         let _ = writeln!(out, "== Fig. 11: throughput (GTEPS) per architecture ==");
-        for (algo, iters) in scope.algos() {
+        let mut it = results.iter();
+        for (algo, _) in &algos {
             let _ = writeln!(out, "\n-- {} --", algo.name());
-            let archs = scope.archs();
             let mut header = format!("{:<6}", "bench");
             for a in &archs {
                 let _ = write!(header, " {:>14}", a.name);
             }
             let _ = writeln!(out, "{header}");
             let mut per_arch: Vec<Vec<f64>> = vec![Vec::new(); archs.len()];
-            for b in scope.benches() {
-                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
+            for b in &benches {
                 let mut line = format!("{:<6}", b.tag());
-                for (i, &arch) in archs.iter().enumerate() {
-                    let mut spec = spec_for(arch, &scope);
-                    spec.max_iterations = iters;
-                    let row = run_graph(&g, b.tag(), algo, &spec);
-                    per_arch[i].push(row.gteps);
-                    let _ = write!(line, " {:>14.3}", row.gteps);
+                for gteps in per_arch.iter_mut() {
+                    let r = it.next().expect("one result per submitted point");
+                    match &r.row {
+                        Some(row) => {
+                            gteps.push(row.gteps);
+                            let _ = write!(line, " {:>14.3}", row.gteps);
+                        }
+                        None => {
+                            let _ = write!(line, " {:>14}", "timeout");
+                        }
+                    }
                 }
                 let _ = writeln!(out, "{line}");
             }
@@ -842,24 +867,33 @@ pub mod related_work {
 /// matrix as CSV on stdout, for plotting outside the harness.
 pub mod sweep {
     use super::*;
-    use crate::runner::{csv_header, csv_line};
+    use crate::engine::{self, PointSpec};
 
-    /// Runs the matrix and renders CSV.
-    pub fn run(scope: Scope) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{}", csv_header());
+    /// Enumerates the full (algorithm × benchmark × architecture) matrix.
+    pub fn points(scope: Scope) -> Vec<PointSpec> {
+        let mut points = Vec::new();
         for (algo, iters) in scope.algos() {
             for b in scope.benches() {
-                let g = prepare_graph(b, Preprocess::DbgHash, scope.shrink, algo.is_weighted());
                 for arch in scope.archs() {
                     let mut spec = spec_for(arch, &scope);
                     spec.max_iterations = iters;
-                    let row = run_graph(&g, b.tag(), algo, &spec);
-                    let _ = writeln!(out, "{}", csv_line(&row, spec.channels));
+                    points.push(PointSpec {
+                        bench: b,
+                        algo,
+                        spec,
+                    });
                 }
             }
         }
-        out
+        points
+    }
+
+    /// Runs the matrix through the parallel engine and renders the
+    /// structured result rows as CSV. Host timing is excluded from the
+    /// columns, so the output is byte-identical for any `--jobs` value.
+    pub fn run(scope: Scope) -> String {
+        let results = engine::run_points(&points(scope), &engine::global_config());
+        simkit::record::to_csv(&results)
     }
 }
 

@@ -7,10 +7,13 @@
 //! paper-vs-measured comparison.
 
 pub mod arch;
+pub mod engine;
 pub mod experiments;
+pub mod microbench;
 pub mod runner;
 
 pub use arch::ArchPoint;
+pub use engine::{EngineConfig, Outcome, PointResult, PointSpec};
 pub use runner::{run_graph, run_point, CacheVariant, Row, RunSpec};
 
 /// Geometric mean of positive values; 0 for an empty slice.

@@ -1,0 +1,115 @@
+//! Minimal microbenchmark harness.
+//!
+//! The container build is fully offline, so criterion is unavailable; this
+//! module provides the small slice of it the `benches/` targets need:
+//! named groups, batched setup/routine iteration, and elements/bytes
+//! throughput reporting. Results print one line per benchmark:
+//!
+//! ```text
+//! moms_bank/merge_heavy_cacheless  median 12.345 ms  (1.62 Melem/s, 10 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// What a group's per-iteration work is measured in.
+#[derive(Debug, Clone, Copy)]
+enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing a throughput definition.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl Group {
+    /// Creates a group; `samples` timed runs per benchmark (after one
+    /// warm-up run).
+    pub fn new(name: &str, samples: usize) -> Self {
+        Group {
+            name: name.to_owned(),
+            throughput: None,
+            samples: samples.max(1),
+        }
+    }
+
+    /// Declares that each routine invocation processes `n` elements.
+    pub fn throughput_elements(&mut self, n: u64) {
+        self.throughput = Some(Throughput::Elements(n));
+    }
+
+    /// Declares that each routine invocation processes `n` bytes.
+    pub fn throughput_bytes(&mut self, n: u64) {
+        self.throughput = Some(Throughput::Bytes(n));
+    }
+
+    /// Runs `routine` over fresh `setup()` inputs and reports the median
+    /// wall-clock time (setup excluded from timing).
+    pub fn bench<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // Warm-up, untimed.
+        std::hint::black_box(routine(setup()));
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let rate = match self.throughput {
+            None => String::new(),
+            Some(tp) => {
+                let secs = median.as_secs_f64().max(1e-12);
+                match tp {
+                    Throughput::Elements(n) => {
+                        format!(", {:.2} Melem/s", n as f64 / secs / 1e6)
+                    }
+                    Throughput::Bytes(n) => {
+                        format!(", {:.2} MiB/s", n as f64 / secs / (1 << 20) as f64)
+                    }
+                }
+            }
+        };
+        println!(
+            "{}/{name}  median {:.3} ms  ({} samples{rate})",
+            self.name,
+            median.as_secs_f64() * 1e3,
+            self.samples,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_setup_per_sample() {
+        let mut group = Group::new("test", 3);
+        group.throughput_elements(10);
+        let mut setups = 0;
+        let mut runs = 0;
+        group.bench(
+            "count",
+            || {
+                setups += 1;
+            },
+            |()| {
+                runs += 1;
+            },
+        );
+        assert_eq!(setups, 4, "one warm-up plus three samples");
+        assert_eq!(runs, 4);
+    }
+}

@@ -3,40 +3,15 @@
 
 use std::time::Instant;
 
-use accel::{PeConfig, System, SystemConfig};
+use accel::{RunConfig, System};
 use algos::Algorithm;
-use dram::DramConfig;
 use graph::benchmarks::BenchmarkId;
 use graph::reorder::{self, Preprocess};
-use graph::{CooGraph, Partitioner};
+use graph::CooGraph;
 
 use crate::arch::ArchPoint;
 
-/// Which cache arrays stay enabled (Fig. 15's four variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CacheVariant {
-    /// Private and shared arrays enabled.
-    #[default]
-    Full,
-    /// Shared array only.
-    NoPrivate,
-    /// Private array only.
-    NoShared,
-    /// No cache arrays at all (MSHRs and subentries only).
-    None,
-}
-
-impl CacheVariant {
-    /// Display label.
-    pub fn name(self) -> &'static str {
-        match self {
-            CacheVariant::Full => "priv+shared",
-            CacheVariant::NoPrivate => "shared only",
-            CacheVariant::NoShared => "priv only",
-            CacheVariant::None => "no caches",
-        }
-    }
-}
+pub use accel::CacheVariant;
 
 /// Interval sizes `(Ns, Nd)` for a given extra shrink factor.
 ///
@@ -84,10 +59,25 @@ impl RunSpec {
             execution: accel::ExecutionMode::AlgorithmDefault,
         }
     }
+
+    /// Lowers this spec into the shared [`RunConfig`] path (the same one
+    /// `accel::Driver` uses), which owns cache stripping, PE BRAM sizing,
+    /// and validation.
+    pub fn run_config(&self) -> RunConfig {
+        let mut rc = RunConfig::new(
+            self.arch
+                .moms_config(self.channels, self.shrink.max(1) as usize, true),
+            intervals_for(self.shrink),
+        );
+        rc.caches = self.caches;
+        rc.execution = self.execution;
+        rc.max_iterations = self.max_iterations;
+        rc
+    }
 }
 
 /// One result row of an experiment table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark tag (Table II).
     pub bench: String,
@@ -123,50 +113,52 @@ pub fn prepare_graph(bench: BenchmarkId, pre: Preprocess, shrink: u64, weighted:
     g
 }
 
+/// Runs one point on a prebuilt graph, optionally bounded by a wall-clock
+/// deadline. Returns the table row and the run's structured metrics, or
+/// `None` when the deadline expired mid-simulation.
+///
+/// Every run path funnels through here, so this is also where the global
+/// result recorder ([`crate::engine`]) observes points when enabled.
+pub fn run_graph_with_deadline(
+    g: &CooGraph,
+    bench_tag: &str,
+    algo: Algorithm,
+    spec: &RunSpec,
+    deadline: Option<Instant>,
+) -> Option<(Row, accel::MetricsSnapshot)> {
+    let (cfg, partitioner) = spec.run_config().build();
+    let t = Instant::now();
+    let mut sys = System::new(g, partitioner, algo, cfg);
+    let result = sys.run_with_deadline(deadline);
+    let sim_seconds = t.elapsed().as_secs_f64();
+    let out = result.map(|result| {
+        let freq = spec.arch.frequency_mhz(spec.channels, &algo);
+        let row = Row {
+            bench: bench_tag.to_owned(),
+            algo: algo.name().to_owned(),
+            arch: spec.arch.name.to_owned(),
+            cycles: result.cycles,
+            iterations: result.iterations,
+            edges: result.edges_processed,
+            freq_mhz: freq,
+            gteps: result.gteps(freq),
+            hit_rate: result.cache_hit_rate,
+            moms_dram_lines: result.stats.get("dram_line_requests"),
+            sim_seconds,
+        };
+        (row, result.metrics)
+    });
+    crate::engine::maybe_record(|| {
+        crate::engine::PointResult::from_run(bench_tag, algo, spec, out.clone(), sim_seconds)
+    });
+    out
+}
+
 /// Runs one point on a prebuilt graph.
 pub fn run_graph(g: &CooGraph, bench_tag: &str, algo: Algorithm, spec: &RunSpec) -> Row {
-    let mut moms_cfg = spec
-        .arch
-        .moms_config(spec.channels, spec.shrink.max(1) as usize, true);
-    match spec.caches {
-        CacheVariant::Full => {}
-        CacheVariant::NoPrivate => moms_cfg.private = moms_cfg.private.without_cache(),
-        CacheVariant::NoShared => moms_cfg.shared = moms_cfg.shared.without_cache(),
-        CacheVariant::None => {
-            moms_cfg.private = moms_cfg.private.without_cache();
-            moms_cfg.shared = moms_cfg.shared.without_cache();
-        }
-    }
-    let (ns, nd) = intervals_for(spec.shrink);
-    let cfg = SystemConfig {
-        dram: DramConfig::default(),
-        moms: moms_cfg,
-        pe: PeConfig {
-            bram_nodes: nd,
-            ..PeConfig::default()
-        },
-        max_iterations: spec.max_iterations,
-        execution: spec.execution,
-        moms_trace_cap: 0,
-    };
-    let t = Instant::now();
-    let mut sys = System::new(g, Partitioner::new(ns, nd), algo, cfg);
-    let result = sys.run();
-    let sim_seconds = t.elapsed().as_secs_f64();
-    let freq = spec.arch.frequency_mhz(spec.channels, &algo);
-    Row {
-        bench: bench_tag.to_owned(),
-        algo: algo.name().to_owned(),
-        arch: spec.arch.name.to_owned(),
-        cycles: result.cycles,
-        iterations: result.iterations,
-        edges: result.edges_processed,
-        freq_mhz: freq,
-        gteps: result.gteps(freq),
-        hit_rate: result.cache_hit_rate,
-        moms_dram_lines: result.stats.get("dram_line_requests"),
-        sim_seconds,
-    }
+    run_graph_with_deadline(g, bench_tag, algo, spec, None)
+        .expect("run without a deadline cannot time out")
+        .0
 }
 
 /// Prepares the benchmark graph and runs one point.
@@ -178,30 +170,6 @@ pub fn run_point(bench: BenchmarkId, algo: Algorithm, spec: &RunSpec) -> Row {
 /// The iteration cap used for PageRank in throughput experiments.
 pub fn pagerank_for_experiments() -> (Algorithm, Option<u32>) {
     (Algorithm::pagerank(), Some(2))
-}
-
-/// CSV header matching [`csv_line`].
-pub fn csv_header() -> &'static str {
-    "bench,algo,arch,channels,cycles,edges,freq_mhz,gteps,hit_rate,moms_dram_lines,sim_seconds"
-}
-
-/// Renders a row as one CSV line (no quoting needed: all fields are
-/// alphanumeric labels or numbers).
-pub fn csv_line(row: &Row, channels: usize) -> String {
-    format!(
-        "{},{},{},{},{},{},{:.1},{:.6},{:.4},{},{:.3}",
-        row.bench,
-        row.algo,
-        row.arch.replace(',', ";"),
-        channels,
-        row.cycles,
-        row.edges,
-        row.freq_mhz,
-        row.gteps,
-        row.hit_rate,
-        row.moms_dram_lines,
-        row.sim_seconds
-    )
 }
 
 #[cfg(test)]

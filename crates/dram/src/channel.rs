@@ -65,6 +65,75 @@ pub struct DramResponse {
     pub write: bool,
 }
 
+/// Point-in-time view of one channel's counters, returned by
+/// [`DramChannel::snapshot`] — a plain value type that outlives the channel
+/// and feeds result export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramChannelSnapshot {
+    /// Transactions that hit an open row.
+    pub row_hits: u64,
+    /// Transactions that needed precharge + activate.
+    pub row_misses: u64,
+    /// 64 B lines read.
+    pub read_lines: u64,
+    /// 64 B lines written.
+    pub write_lines: u64,
+    /// Read transactions completed.
+    pub read_txns: u64,
+    /// Write transactions completed.
+    pub write_txns: u64,
+    /// Cycles the shared data bus was occupied (transfer + command
+    /// overhead).
+    pub bus_busy_cycles: u64,
+}
+
+impl DramChannelSnapshot {
+    /// Fraction of transactions that hit an open row; 0 with no traffic.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes(&self) -> u64 {
+        (self.read_lines + self.write_lines) * LINE_BYTES
+    }
+
+    /// Achieved bandwidth in GB/s over `cycles` of simulated time at
+    /// `freq_mhz`; 0 when no time has elapsed.
+    pub fn bandwidth_gbs(&self, cycles: Cycle, freq_mhz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let seconds = cycles as f64 / (freq_mhz * 1e6);
+        self.bytes() as f64 / seconds / 1e9
+    }
+
+    /// Fraction of `cycles` the data bus was busy; 0 when no time elapsed.
+    pub fn bus_utilization(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / cycles as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating across channels.
+    pub fn accumulate(&mut self, other: &DramChannelSnapshot) {
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.read_lines += other.read_lines;
+        self.write_lines += other.write_lines;
+        self.read_txns += other.read_txns;
+        self.write_txns += other.write_txns;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct BankState {
     open_row: Option<u64>,
@@ -255,6 +324,19 @@ impl DramChannel {
     /// `read_txns`, `write_txns`, `bus_busy_cycles`.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Point-in-time view of this channel's counters as a value type.
+    pub fn snapshot(&self) -> DramChannelSnapshot {
+        DramChannelSnapshot {
+            row_hits: self.stats.get("row_hits"),
+            row_misses: self.stats.get("row_misses"),
+            read_lines: self.stats.get("read_lines"),
+            write_lines: self.stats.get("write_lines"),
+            read_txns: self.stats.get("read_txns"),
+            write_txns: self.stats.get("write_txns"),
+            bus_busy_cycles: self.stats.get("bus_busy_cycles"),
+        }
     }
 
     /// Configuration this channel was built with.

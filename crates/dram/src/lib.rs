@@ -44,7 +44,7 @@ pub mod config;
 pub mod image;
 pub mod system;
 
-pub use channel::{DramChannel, DramRequest, DramResponse};
+pub use channel::{DramChannel, DramChannelSnapshot, DramRequest, DramResponse};
 pub use config::DramConfig;
 pub use image::MemImage;
 pub use system::{MemorySystem, INTERLEAVE_BYTES, LINE_BYTES};

@@ -2,7 +2,7 @@
 
 use simkit::{Cycle, Stats};
 
-use crate::channel::{DramChannel, DramRequest, DramResponse};
+use crate::channel::{DramChannel, DramChannelSnapshot, DramRequest, DramResponse};
 use crate::config::DramConfig;
 
 /// Bytes per memory line (512-bit DRAM port word).
@@ -133,6 +133,11 @@ impl MemorySystem {
     /// Per-channel statistics.
     pub fn channel_stats(&self, ch: usize) -> &Stats {
         self.channels[ch].stats()
+    }
+
+    /// Point-in-time view of every channel's counters, in channel order.
+    pub fn snapshot(&self) -> Vec<DramChannelSnapshot> {
+        self.channels.iter().map(|c| c.snapshot()).collect()
     }
 }
 

@@ -42,11 +42,7 @@ impl GraphProps {
         let mut deg = g.out_degrees();
         let mean = m as f64 / n as f64;
         let dangling = deg.iter().filter(|&&d| d == 0).count() as f64 / n as f64;
-        let local = g
-            .edges()
-            .iter()
-            .filter(|&&(s, d)| s / 64 == d / 64)
-            .count() as f64
+        let local = g.edges().iter().filter(|&&(s, d)| s / 64 == d / 64).count() as f64
             / (m as f64).max(1.0);
         deg.sort_unstable();
         let p99 = deg[(n as usize - 1) * 99 / 100];

@@ -48,6 +48,49 @@ pub struct MomsResp {
     pub id: u32,
 }
 
+/// Point-in-time view of a bank's occupancy and cache statistics, returned
+/// by [`MomsBank::snapshot`].
+///
+/// A plain value type: cheap to copy, comparable, and safe to hold across
+/// further simulation (it does not borrow the bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MomsBankSnapshot {
+    /// Outstanding misses right now (live MSHR entries).
+    pub mshr_occupancy: usize,
+    /// Peak simultaneous live MSHR entries (outstanding lines).
+    pub peak_mshr_occupancy: usize,
+    /// Peak simultaneous pending misses (live subentries) — the
+    /// "thousands of simultaneous misses" headline metric.
+    pub peak_pending_misses: usize,
+    /// Cache probe hits (0 when cache-less).
+    pub cache_hits: u64,
+    /// Cache probe misses (0 when cache-less).
+    pub cache_misses: u64,
+}
+
+impl MomsBankSnapshot {
+    /// Hit fraction of cache probes; 0 when no probes were made.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Element-wise accumulation, for aggregating across banks: counters
+    /// and peaks sum (per-bank structures are disjoint), as does current
+    /// occupancy.
+    pub fn accumulate(&mut self, other: &MomsBankSnapshot) {
+        self.mshr_occupancy += other.mshr_occupancy;
+        self.peak_mshr_occupancy += other.peak_mshr_occupancy;
+        self.peak_pending_misses += other.peak_pending_misses;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Replay {
     line: u64,
@@ -176,33 +219,58 @@ impl MomsBank {
             && self.mshr.occupancy() == 0
     }
 
+    /// Point-in-time view of this bank's occupancy and cache statistics.
+    ///
+    /// This is the one sanctioned way to observe a bank from outside; the
+    /// individual accessors it replaced remain as deprecated wrappers.
+    pub fn snapshot(&self) -> MomsBankSnapshot {
+        let (cache_hits, cache_misses) = self
+            .cache
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits(), c.misses()));
+        MomsBankSnapshot {
+            mshr_occupancy: self.mshr.occupancy(),
+            peak_mshr_occupancy: self.mshr.peak_occupancy(),
+            peak_pending_misses: self.subs.peak_entries(),
+            cache_hits,
+            cache_misses,
+        }
+    }
+
     /// Number of outstanding misses (live MSHRs).
+    #[deprecated(since = "0.2.0", note = "use `snapshot().mshr_occupancy`")]
     pub fn mshr_occupancy(&self) -> usize {
-        self.mshr.occupancy()
+        self.snapshot().mshr_occupancy
     }
 
     /// Peak outstanding lines (live MSHRs).
+    #[deprecated(since = "0.2.0", note = "use `snapshot().peak_mshr_occupancy`")]
     pub fn peak_mshr_occupancy(&self) -> usize {
-        self.mshr.peak_occupancy()
+        self.snapshot().peak_mshr_occupancy
     }
 
     /// Peak simultaneous pending *misses* (live subentries) — the
     /// "thousands of simultaneous misses" headline metric: many misses
     /// share one MSHR when they hit the same line.
+    #[deprecated(since = "0.2.0", note = "use `snapshot().peak_pending_misses`")]
     pub fn peak_pending_misses(&self) -> usize {
-        self.subs.peak_entries()
+        self.snapshot().peak_pending_misses
     }
 
     /// Cache hit rate of this bank's array (0 when cache-less).
+    #[deprecated(since = "0.2.0", note = "use `snapshot().cache_hit_rate()`")]
     pub fn cache_hit_rate(&self) -> f64 {
-        self.cache.as_ref().map_or(0.0, |c| c.hit_rate())
+        self.snapshot().cache_hit_rate()
     }
 
     /// Cache probe counts `(hits, misses)`; zeros when cache-less.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `snapshot().cache_hits` / `snapshot().cache_misses`"
+    )]
     pub fn cache_counts(&self) -> (u64, u64) {
-        self.cache
-            .as_ref()
-            .map_or((0, 0), |c| (c.hits(), c.misses()))
+        let s = self.snapshot();
+        (s.cache_hits, s.cache_misses)
     }
 
     /// Counters: `cache_hits`, `secondary_misses`, `primary_misses`,
@@ -557,7 +625,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(bank.stats().get("cache_hits"), 1);
         assert_eq!(bank.stats().get("primary_misses"), 1);
-        assert!(bank.cache_hit_rate() > 0.0);
+        assert!(bank.snapshot().cache_hit_rate() > 0.0);
     }
 
     #[test]
@@ -591,9 +659,9 @@ mod tests {
         let out = drive(&mut bank, reqs, 100, 50_000);
         assert_eq!(out.len(), 32);
         assert!(
-            bank.peak_mshr_occupancy() <= 16,
+            bank.snapshot().peak_mshr_occupancy <= 16,
             "peak {} exceeds MSHR file",
-            bank.peak_mshr_occupancy()
+            bank.snapshot().peak_mshr_occupancy
         );
     }
 
@@ -759,9 +827,9 @@ mod tests {
         let out = drive(&mut bank, reqs, 5000, 100_000);
         assert_eq!(out.len(), 2000);
         assert!(
-            bank.peak_mshr_occupancy() > 1000,
+            bank.snapshot().peak_mshr_occupancy > 1000,
             "peak {} too low — misses are not accumulating",
-            bank.peak_mshr_occupancy()
+            bank.snapshot().peak_mshr_occupancy
         );
     }
 }

@@ -56,7 +56,7 @@ pub mod harness;
 pub mod subentry;
 pub mod system;
 
-pub use bank::{MomsBank, MomsReq, MomsResp};
+pub use bank::{MomsBank, MomsBankSnapshot, MomsReq, MomsResp};
 pub use cache::{CacheArray, CacheConfig};
 pub use config::MomsConfig;
-pub use system::{MomsSystem, MomsSystemConfig, Topology};
+pub use system::{MomsSnapshot, MomsSystem, MomsSystemConfig, Topology};

@@ -18,8 +18,22 @@ use simkit::{Cycle, Fifo, Stats};
 
 use dram::{DramRequest, MemorySystem, INTERLEAVE_BYTES, LINE_BYTES};
 
-use crate::bank::{MomsBank, MomsReq, MomsResp};
+use crate::bank::{MomsBank, MomsBankSnapshot, MomsReq, MomsResp};
 use crate::config::MomsConfig;
+
+/// Point-in-time view of a whole MOMS topology, returned by
+/// [`MomsSystem::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MomsSnapshot {
+    /// Accumulated per-bank counters across both levels.
+    pub banks: MomsBankSnapshot,
+    /// Peak simultaneous pending misses, counted at the level the PEs talk
+    /// to (private when present, else shared) to avoid double-counting a
+    /// miss that is pending in both levels.
+    pub peak_outstanding_misses: usize,
+    /// Peak simultaneous outstanding lines (live MSHRs) over all banks.
+    pub peak_outstanding_lines: usize,
+}
 
 /// MOMS organisation (Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -656,16 +670,27 @@ impl MomsSystem {
     /// (the hit-rate definition of Fig. 12).
     pub fn stats(&self) -> Stats {
         let mut s = self.stats.clone();
-        let mut hits = 0;
-        let mut misses = 0;
         for b in self.private.iter().chain(self.shared.iter()) {
             s.merge(b.stats());
-            let (h, m) = b.cache_counts();
-            hits += h;
-            misses += m;
         }
-        s.add("cache_probe_hits", hits);
-        s.add("cache_probe_misses", misses);
+        let snap = self.snapshot();
+        s.add("cache_probe_hits", snap.banks.cache_hits);
+        s.add("cache_probe_misses", snap.banks.cache_misses);
+        s.add(
+            "peak_outstanding_misses",
+            snap.peak_outstanding_misses as u64,
+        );
+        s.add("peak_outstanding_lines", snap.peak_outstanding_lines as u64);
+        s
+    }
+
+    /// Point-in-time view of occupancy and cache statistics across every
+    /// bank of the topology.
+    pub fn snapshot(&self) -> MomsSnapshot {
+        let mut banks = MomsBankSnapshot::default();
+        for b in self.private.iter().chain(self.shared.iter()) {
+            banks.accumulate(&b.snapshot());
+        }
         // Outstanding misses are counted at the level PEs talk to: the
         // private banks when they exist, else the shared banks. (A miss
         // pending in a private bank also has a line request pending in the
@@ -675,22 +700,16 @@ impl MomsSystem {
         } else {
             &self.private
         };
-        let peak: usize = front.iter().map(|b| b.peak_pending_misses()).sum();
-        s.add("peak_outstanding_misses", peak as u64);
-        let peak_lines: usize = self
-            .private
-            .iter()
-            .chain(self.shared.iter())
-            .map(|b| b.peak_mshr_occupancy())
-            .sum();
-        s.add("peak_outstanding_lines", peak_lines as u64);
-        s
+        MomsSnapshot {
+            peak_outstanding_misses: front.iter().map(|b| b.snapshot().peak_pending_misses).sum(),
+            peak_outstanding_lines: banks.peak_mshr_occupancy,
+            banks,
+        }
     }
 
     /// Combined cache hit rate over both levels (0 when cache-less).
     pub fn cache_hit_rate(&self) -> f64 {
-        let s = self.stats();
-        s.fraction("cache_probe_hits", "cache_probe_misses")
+        self.snapshot().banks.cache_hit_rate()
     }
 
     /// Configuration.

@@ -13,6 +13,8 @@
 //! * [`SplitMix64`] — a tiny, fully deterministic RNG so that workloads and
 //!   synthetic graphs are reproducible across platforms.
 //! * [`Stats`] — a name→counter registry for throughput/occupancy metrics.
+//! * [`record`] — a dependency-free [`Record`]/[`Value`] model with JSON
+//!   and CSV writers, used by the experiment harness to export results.
 //!
 //! # Example
 //!
@@ -31,12 +33,14 @@
 pub mod delay;
 pub mod fifo;
 pub mod handshake;
+pub mod record;
 pub mod rng;
 pub mod stats;
 
 pub use delay::DelayLine;
 pub use fifo::{Fifo, PushError};
 pub use handshake::CrossingLink;
+pub use record::{Record, Value};
 pub use rng::SplitMix64;
 pub use stats::Stats;
 

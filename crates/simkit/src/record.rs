@@ -1,0 +1,396 @@
+//! Dependency-free structured result serialization.
+//!
+//! Experiment results flow out of the harness as flat records — one row per
+//! simulated point — that downstream tooling consumes as JSON or CSV. The
+//! build must work fully offline, so instead of a serde derive this module
+//! defines a tiny [`Value`] model and a [`Record`] trait that types
+//! implement by listing their `(field, value)` pairs explicitly.
+//!
+//! # Formats
+//!
+//! * **JSON** ([`write_json`]): an array of objects, one per record. Lists
+//!   (e.g. per-channel bandwidth) serialize as JSON arrays. Non-finite
+//!   floats serialize as `null` (JSON has no NaN/Infinity).
+//! * **CSV** ([`write_csv`]): a header row from the first record's field
+//!   names, then one line per record. Lists are joined with `;` inside a
+//!   single cell. Fields containing `,`, `"`, or newlines are quoted per
+//!   RFC 4180.
+//!
+//! ```
+//! use simkit::record::{Record, Value, to_json};
+//!
+//! struct Point { name: &'static str, gteps: f64 }
+//! impl Record for Point {
+//!     fn fields(&self) -> Vec<(&'static str, Value)> {
+//!         vec![("name", Value::from(self.name)), ("gteps", Value::from(self.gteps))]
+//!     }
+//! }
+//! let rows = [Point { name: "rmat-21", gteps: 2.5 }];
+//! assert_eq!(to_json(&rows), "[\n  {\"name\": \"rmat-21\", \"gteps\": 2.5}\n]\n");
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// A scalar or list value inside a [`Record`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / not-applicable.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so u64 counters round-trip).
+    UInt(u64),
+    /// Floating point. Non-finite values serialize as JSON `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Homogeneous or mixed list, e.g. per-channel bandwidth.
+    List(Vec<Value>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Value {
+    /// Render as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json_into(&mut s);
+        s
+    }
+
+    fn write_json_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{}", fmt_float(*f));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::List(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_json_into(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+
+    /// Render as a CSV cell (unquoted; [`write_csv`] adds quoting).
+    fn to_csv_cell(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) => fmt_float(*f),
+            Value::Str(s) => s.clone(),
+            Value::List(items) => items
+                .iter()
+                .map(|v| v.to_csv_cell())
+                .collect::<Vec<_>>()
+                .join(";"),
+        }
+    }
+}
+
+/// Shortest float form that still round-trips through `str::parse::<f64>`.
+fn fmt_float(f: f64) -> String {
+    if !f.is_finite() {
+        return "NaN".into();
+    }
+    // `{}` on f64 is already shortest-round-trip in Rust; just make sure
+    // integral values keep a `.0` so readers see a float column.
+    let s = format!("{f}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A flat, serializable result row.
+///
+/// Implementors list their fields in a fixed order; the order defines the
+/// CSV column order and the JSON key order.
+pub trait Record {
+    /// The `(field name, value)` pairs of this record, in column order.
+    fn fields(&self) -> Vec<(&'static str, Value)>;
+}
+
+/// Serialize records as a pretty-ish JSON array (one object per line).
+pub fn to_json<R: Record>(records: &[R]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {");
+        for (j, (name, value)) in r.fields().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": ");
+            value.write_json_into(&mut out);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serialize records as CSV (RFC 4180 quoting, header from first record).
+pub fn to_csv<R: Record>(records: &[R]) -> String {
+    let mut out = String::new();
+    let Some(first) = records.first() else {
+        return out;
+    };
+    let header: Vec<&str> = first.fields().iter().map(|(n, _)| *n).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in records {
+        let fields = r.fields();
+        debug_assert_eq!(
+            fields.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            header,
+            "all records in a CSV export must share one schema"
+        );
+        let line: Vec<String> = fields
+            .iter()
+            .map(|(_, v)| csv_quote(&v.to_csv_cell()))
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Write records to `w` as JSON.
+pub fn write_json<R: Record, W: Write>(w: &mut W, records: &[R]) -> io::Result<()> {
+    w.write_all(to_json(records).as_bytes())
+}
+
+/// Write records to `w` as CSV.
+pub fn write_csv<R: Record, W: Write>(w: &mut W, records: &[R]) -> io::Result<()> {
+    w.write_all(to_csv(records).as_bytes())
+}
+
+/// Output format selector shared by every exporting subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// JSON array of objects.
+    #[default]
+    Json,
+    /// Comma-separated values with a header row.
+    Csv,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("unknown format '{other}' (expected json|csv)")),
+        }
+    }
+}
+
+impl Format {
+    /// Serialize `records` in this format.
+    pub fn render<R: Record>(self, records: &[R]) -> String {
+        match self {
+            Format::Json => to_json(records),
+            Format::Csv => to_csv(records),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        name: String,
+        cycles: u64,
+        gteps: f64,
+        per_ch: Vec<f64>,
+        note: Option<String>,
+    }
+
+    impl Record for Row {
+        fn fields(&self) -> Vec<(&'static str, Value)> {
+            vec![
+                ("name", Value::from(self.name.clone())),
+                ("cycles", Value::from(self.cycles)),
+                ("gteps", Value::from(self.gteps)),
+                ("per_ch", Value::from(self.per_ch.clone())),
+                ("note", Value::from(self.note.clone())),
+            ]
+        }
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row {
+                name: "rmat-21".into(),
+                cycles: 123456,
+                gteps: 2.5,
+                per_ch: vec![10.0, 10.5],
+                note: None,
+            },
+            Row {
+                name: "web, \"large\"".into(),
+                cycles: 99,
+                gteps: 0.125,
+                per_ch: vec![1.0],
+                note: Some("t/o".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let j = to_json(&rows());
+        assert!(j.starts_with("[\n"));
+        assert!(j.contains("\"name\": \"rmat-21\""));
+        assert!(j.contains("\"cycles\": 123456"));
+        assert!(j.contains("\"gteps\": 2.5"));
+        assert!(j.contains("\"per_ch\": [10.0, 10.5]"));
+        assert!(j.contains("\"note\": null"));
+        assert!(j.contains("\\\"large\\\""));
+        assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_escapes_control_and_nonfinite() {
+        assert_eq!(Value::Str("a\nb".into()).to_json(), "\"a\\nb\"");
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn csv_has_header_and_quoting() {
+        let c = to_csv(&rows());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "name,cycles,gteps,per_ch,note");
+        assert_eq!(lines.next().unwrap(), "rmat-21,123456,2.5,10.0;10.5,");
+        // Embedded comma and quotes force RFC 4180 quoting.
+        assert_eq!(
+            lines.next().unwrap(),
+            "\"web, \"\"large\"\"\",99,0.125,1.0,t/o"
+        );
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn csv_of_empty_slice_is_empty() {
+        let rows: Vec<Row> = vec![];
+        assert_eq!(to_csv(&rows), "");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(fmt_float(3.0), "3.0");
+        assert_eq!(fmt_float(0.25), "0.25");
+        assert_eq!(fmt_float(1e300).parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn format_parses_and_renders() {
+        assert_eq!("json".parse::<Format>().unwrap(), Format::Json);
+        assert_eq!("CSV".parse::<Format>().unwrap(), Format::Csv);
+        assert!("xml".parse::<Format>().is_err());
+        assert!(Format::Csv.render(&rows()).starts_with("name,"));
+        assert!(Format::Json.render(&rows()).starts_with("[\n"));
+    }
+}

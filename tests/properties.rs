@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! full simulator: random graphs, random geometry, random configurations.
+//! Randomized property tests on the core data structures and the full
+//! simulator: random graphs, random geometry, random configurations.
+//!
+//! Implemented with the deterministic `simkit::SplitMix64` generator
+//! (the container build is fully offline, so there is no proptest).
+//! Every case is seeded, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use simkit::SplitMix64;
 
 use accel::{PeConfig, System, SystemConfig};
 use algos::{golden, Algorithm};
@@ -12,12 +16,20 @@ use graph::{CooGraph, Partitioner};
 use moms::cuckoo::{CuckooMshr, InsertOutcome, MshrEntry};
 use moms::{MomsConfig, MomsSystemConfig, Topology};
 
-/// Strategy: a random small directed graph (possibly weighted).
-fn arb_graph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = CooGraph> {
-    (2..max_nodes, 1..max_edges).prop_flat_map(|(n, m)| {
-        proptest::collection::vec((0..n, 0..n), m)
-            .prop_map(move |edges| CooGraph::from_edges(n, edges))
-    })
+/// A random small directed graph with `2..max_nodes` nodes and
+/// `1..max_edges` edges.
+fn random_graph(rng: &mut SplitMix64, max_nodes: u32, max_edges: usize) -> CooGraph {
+    let n = 2 + rng.next_below(max_nodes as u64 - 2) as u32;
+    let m = 1 + rng.next_below(max_edges as u64 - 1) as usize;
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            )
+        })
+        .collect();
+    CooGraph::from_edges(n, edges)
 }
 
 fn small_config() -> SystemConfig {
@@ -48,39 +60,50 @@ fn small_config() -> SystemConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn compressed_edge_round_trips(src in 0u32..65536, dst in 0u32..32768) {
+#[test]
+fn compressed_edge_round_trips() {
+    let mut rng = SplitMix64::new(0x5eed_0001);
+    for _ in 0..1000 {
+        let src = rng.next_below(65536) as u32;
+        let dst = rng.next_below(32768) as u32;
         let e = CompressedEdge::new(src, dst);
-        prop_assert_eq!(e.src_offset(), src);
-        prop_assert_eq!(e.dst_offset(), dst);
-        prop_assert!(!e.is_terminating());
+        assert_eq!(e.src_offset(), src);
+        assert_eq!(e.dst_offset(), dst);
+        assert!(!e.is_terminating());
     }
+}
 
-    #[test]
-    fn edge_pointer_round_trips(
-        addr in (0u64..1 << 30).prop_map(|a| a / 4 * 4),
-        edges in 0u64..1 << 23,
-        active: bool,
-    ) {
+#[test]
+fn edge_pointer_round_trips() {
+    let mut rng = SplitMix64::new(0x5eed_0002);
+    for _ in 0..1000 {
+        let addr = rng.next_below(1 << 30) / 4 * 4;
+        let edges = rng.next_below(1 << 23);
+        let active = rng.chance(0.5);
         let p = EdgePointer::new(addr, edges, active);
-        prop_assert_eq!(p.byte_addr(), addr);
-        prop_assert_eq!(p.edge_count(), edges);
-        prop_assert_eq!(p.active(), active);
+        assert_eq!(p.byte_addr(), addr);
+        assert_eq!(p.edge_count(), edges);
+        assert_eq!(p.active(), active);
     }
+}
 
-    #[test]
-    fn partition_is_lossless(g in arb_graph(500, 2000), ns in 1u32..600, nd in 1u32..600) {
+#[test]
+fn partition_is_lossless() {
+    let mut rng = SplitMix64::new(0x5eed_0003);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 500, 2000);
+        let ns = 1 + rng.next_below(599) as u32;
+        let nd = 1 + rng.next_below(599) as u32;
         let parts = Partitioner::new(ns, nd).partition(&g);
-        prop_assert_eq!(parts.total_edges(), g.num_edges() as u64);
+        assert_eq!(parts.total_edges(), g.num_edges() as u64, "case {case}");
         let mut seen: Vec<(u32, u32)> = Vec::new();
         for d in 0..parts.qd() {
             for s in 0..parts.qs() {
                 for (src, dst, _) in parts.iter_shard_edges(s, d) {
-                    prop_assert!(src / ns == s as u32);
-                    prop_assert!(dst / nd == d as u32);
+                    assert!(src / ns == s as u32, "case {case}");
+                    assert!(dst / nd == d as u32, "case {case}");
                     seen.push((src, dst));
                 }
             }
@@ -88,11 +111,15 @@ proptest! {
         let mut orig = g.edges().to_vec();
         orig.sort_unstable();
         seen.sort_unstable();
-        prop_assert_eq!(orig, seen);
+        assert_eq!(orig, seen, "case {case} (ns {ns}, nd {nd})");
     }
+}
 
-    #[test]
-    fn layout_decodes_to_original_edges(g in arb_graph(300, 1000)) {
+#[test]
+fn layout_decodes_to_original_edges() {
+    let mut rng = SplitMix64::new(0x5eed_0004);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 300, 1000);
         let parts = Partitioner::new(64, 64).partition(&g);
         let init = LayoutInit {
             vin: vec![7; g.num_nodes() as usize],
@@ -107,61 +134,88 @@ proptest! {
                 let mut a = p.byte_addr();
                 for _ in 0..p.edge_count() {
                     let e = CompressedEdge::from_bits(img.read_u32(a));
-                    prop_assert!(!e.is_terminating());
+                    assert!(!e.is_terminating(), "case {case}");
                     a += 4;
                     count += 1;
                 }
-                prop_assert!(CompressedEdge::from_bits(img.read_u32(a)).is_terminating());
+                assert!(
+                    CompressedEdge::from_bits(img.read_u32(a)).is_terminating(),
+                    "case {case}"
+                );
             }
         }
-        prop_assert_eq!(count, g.num_edges() as u64);
+        assert_eq!(count, g.num_edges() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn cuckoo_never_loses_entries(lines in proptest::collection::hash_set(0u64..100_000, 1..300)) {
+#[test]
+fn cuckoo_never_loses_entries() {
+    let mut rng = SplitMix64::new(0x5eed_0005);
+    for case in 0..CASES {
+        let count = 1 + rng.next_below(299);
+        let lines: std::collections::HashSet<u64> =
+            (0..count).map(|_| rng.next_below(100_000)).collect();
         let mut t = CuckooMshr::new(512, 4, 8);
         let mut inserted = Vec::new();
         for &l in &lines {
-            match t.insert(MshrEntry { line: l, head_row: 0, tail_row: 0, pending: 0 }) {
+            match t.insert(MshrEntry {
+                line: l,
+                head_row: 0,
+                tail_row: 0,
+                pending: 0,
+            }) {
                 InsertOutcome::Placed { .. } => inserted.push(l),
                 InsertOutcome::Failed => {}
             }
         }
         for &l in &inserted {
-            prop_assert!(t.lookup(l).is_some(), "lost {}", l);
+            assert!(t.lookup(l).is_some(), "case {case}: lost {l}");
         }
-        prop_assert_eq!(t.occupancy(), inserted.len());
+        assert_eq!(t.occupancy(), inserted.len(), "case {case}");
         for &l in &inserted {
-            prop_assert!(t.remove(l).is_some());
+            assert!(t.remove(l).is_some(), "case {case}");
         }
-        prop_assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.occupancy(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn simulator_matches_golden_bfs_on_random_graphs(g in arb_graph(400, 1500)) {
+#[test]
+fn simulator_matches_golden_bfs_on_random_graphs() {
+    let mut rng = SplitMix64::new(0x5eed_0006);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 400, 1500);
         let algo = Algorithm::bfs(0);
         let got = System::new(&g, Partitioner::new(256, 256), algo, small_config())
             .run()
             .values;
-        prop_assert_eq!(got, golden::run(&algo, &g));
+        assert_eq!(got, golden::run(&algo, &g), "case {case}");
     }
+}
 
-    #[test]
-    fn simulator_matches_golden_scc_on_random_graphs(g in arb_graph(300, 1200)) {
+#[test]
+fn simulator_matches_golden_scc_on_random_graphs() {
+    let mut rng = SplitMix64::new(0x5eed_0007);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 300, 1200);
         let algo = Algorithm::Scc;
         let got = System::new(&g, Partitioner::new(128, 128), algo, small_config())
             .run()
             .values;
-        prop_assert_eq!(got, golden::run(&algo, &g));
+        assert_eq!(got, golden::run(&algo, &g), "case {case}");
     }
+}
 
-    #[test]
-    fn reorder_permutations_are_bijective(g in arb_graph(400, 800), seed in 0u64..1000) {
+#[test]
+fn reorder_permutations_are_bijective() {
+    let mut rng = SplitMix64::new(0x5eed_0008);
+    for case in 0..CASES {
+        let g = random_graph(&mut rng, 400, 800);
+        let seed = rng.next_below(1000);
         let dbg = graph::reorder::dbg_reorder(&g);
-        prop_assert!(graph::reorder::is_permutation(&dbg));
+        assert!(graph::reorder::is_permutation(&dbg), "case {case}");
         let hash = graph::reorder::hash_cache_lines(g.num_nodes(), 16, seed);
-        prop_assert!(graph::reorder::is_permutation(&hash));
+        assert!(graph::reorder::is_permutation(&hash), "case {case}");
         let both = graph::reorder::compose(&dbg, &hash);
-        prop_assert!(graph::reorder::is_permutation(&both));
+        assert!(graph::reorder::is_permutation(&both), "case {case}");
     }
 }
