@@ -2,6 +2,12 @@
 
 use dram::DramConfig;
 use moms::{MomsConfig, MomsSystemConfig, Topology};
+use simkit::{Cycle, FaultConfig};
+
+/// Default no-progress watchdog threshold in cycles: far above any real
+/// quiet stretch (DRAM round trips are hundreds of cycles) yet cheap to
+/// reach when something genuinely wedges.
+pub const DEFAULT_WATCHDOG_CYCLES: Cycle = 2_000_000;
 
 /// Microarchitectural parameters of one processing element.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +109,11 @@ pub struct SystemConfig {
     /// `(pe, line)` trace, returned in [`crate::RunResult::moms_trace`]
     /// for replay via `moms::harness::TraceRun::execute_tagged`.
     pub moms_trace_cap: usize,
+    /// Fault-injection profile applied to DRAM completions (default: no
+    /// faults, injector fully bypassed).
+    pub fault: FaultConfig,
+    /// No-progress watchdog threshold; `None` disables the watchdog.
+    pub watchdog_cycles: Option<Cycle>,
 }
 
 impl SystemConfig {
@@ -133,6 +144,8 @@ impl SystemConfig {
             max_iterations: None,
             execution: ExecutionMode::AlgorithmDefault,
             moms_trace_cap: 0,
+            fault: FaultConfig::none(),
+            watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
         }
     }
 

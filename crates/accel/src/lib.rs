@@ -42,8 +42,8 @@ pub mod pe;
 pub mod run_config;
 pub mod system;
 
-pub use config::{ExecutionMode, PeConfig, SystemConfig};
+pub use config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 pub use driver::Driver;
 pub use pe::Pe;
 pub use run_config::{CacheVariant, RunConfig};
-pub use system::{MetricsSnapshot, PeStallBreakdown, RunResult, System};
+pub use system::{MetricsSnapshot, PeStallBreakdown, RunError, RunResult, System};

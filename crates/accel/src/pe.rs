@@ -273,6 +273,33 @@ impl Pe {
         &self.stats
     }
 
+    /// One-line phase and queue-occupancy summary for watchdog
+    /// diagnostics.
+    pub fn diagnostic(&self) -> String {
+        let phase = match self.phase {
+            Phase::Idle => "idle",
+            Phase::Init => "init",
+            Phase::FetchPtrs => "fetch-ptrs",
+            Phase::Stream => "stream",
+            Phase::Apply => "apply",
+            Phase::Writeback => "writeback",
+        };
+        format!(
+            "phase={} dram_out={} bursts_out={} edge_q={} inflight_moms={} \
+             gather_q={} local_q={} pipe={} free_ids={}/{}",
+            phase,
+            self.dram_out.len(),
+            self.outstanding.len(),
+            self.edge_q.len(),
+            self.inflight_moms,
+            self.moms_gather_q.len(),
+            self.local_q.len(),
+            self.pipe.len(),
+            self.free_ids.len(),
+            self.cfg.id_slots,
+        )
+    }
+
     fn alloc_tag(&mut self, kind: Burst) -> u64 {
         let tag = self.next_tag;
         self.next_tag += 1;

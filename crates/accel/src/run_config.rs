@@ -9,8 +9,9 @@
 use dram::DramConfig;
 use graph::Partitioner;
 use moms::MomsSystemConfig;
+use simkit::{Cycle, FaultConfig};
 
-use crate::config::{ExecutionMode, PeConfig, SystemConfig};
+use crate::config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 
 /// Which cache arrays stay enabled (Fig. 15's four variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -66,6 +67,10 @@ pub struct RunConfig {
     pub pe: PeConfig,
     /// MOMS request-trace capacity (0 = no trace).
     pub moms_trace_cap: usize,
+    /// Fault-injection profile for DRAM completions (default: none).
+    pub fault: FaultConfig,
+    /// No-progress watchdog threshold; `None` disables the watchdog.
+    pub watchdog_cycles: Option<Cycle>,
 }
 
 impl RunConfig {
@@ -81,6 +86,8 @@ impl RunConfig {
             max_iterations: None,
             pe: PeConfig::default(),
             moms_trace_cap: 0,
+            fault: FaultConfig::none(),
+            watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
         }
     }
 
@@ -127,6 +134,8 @@ impl RunConfig {
             max_iterations: self.max_iterations,
             execution: self.execution,
             moms_trace_cap: self.moms_trace_cap,
+            fault: self.fault,
+            watchdog_cycles: self.watchdog_cycles,
         };
         cfg.validate();
         (cfg, Partitioner::new(ns, nd))

@@ -4,10 +4,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
-use simkit::{Cycle, Stats};
+use simkit::watchdog::{DiagnosticSection, DiagnosticSnapshot};
+use simkit::{Cycle, FaultInjector, Stats, Watchdog};
 
 use algos::Algorithm;
-use dram::{DramChannelSnapshot, DramRequest, MemImage, MemorySystem};
+use dram::{DramChannelSnapshot, DramRequest, DramResponse, MemImage, MemorySystem};
 use graph::layout::{LayoutBuilder, LayoutInit};
 use graph::{CooGraph, GraphImage, Partitioner};
 use moms::{MomsSnapshot, MomsSystem};
@@ -159,6 +160,29 @@ impl RunResult {
     }
 }
 
+/// Why a run terminated without producing a [`RunResult`].
+#[derive(Debug)]
+pub enum RunError {
+    /// The host wall-clock deadline expired mid-run. The partially
+    /// simulated state is inconsistent; drop the `System`.
+    TimedOut,
+    /// The no-progress watchdog tripped: no request retired for the
+    /// configured threshold. The snapshot captures every component's
+    /// queue state at detection time.
+    Stalled(Box<DiagnosticSnapshot>),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::TimedOut => write!(f, "wall-clock deadline expired"),
+            RunError::Stalled(snap) => write!(f, "{snap}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// PE-owned DRAM id namespace: bit 63 clear, PE index in bits 62..48.
 fn encode_pe_id(pe: usize, tag: u64) -> u64 {
     debug_assert!(tag < 1 << 48);
@@ -188,6 +212,11 @@ pub struct System {
     seg_q: Vec<VecDeque<DramRequest>>,
     /// Remaining segments per (pe, tag) logical burst.
     burst_segments: HashMap<(usize, u64), u32>,
+    /// Fault injector on the DRAM-completion path (bypassed entirely when
+    /// the profile is `None`).
+    fault: FaultInjector<DramResponse>,
+    /// No-progress watchdog (`None` when disabled by configuration).
+    watchdog: Option<Watchdog>,
     now: Cycle,
 }
 
@@ -231,6 +260,8 @@ impl System {
         System {
             seg_q: vec![VecDeque::new(); cfg.num_pes()],
             burst_segments: HashMap::new(),
+            fault: FaultInjector::new(cfg.fault),
+            watchdog: cfg.watchdog_cycles.map(Watchdog::new),
             graph_nodes: g.num_nodes(),
             algo,
             gi,
@@ -281,9 +312,18 @@ impl System {
     }
 
     /// Runs Template 1 to completion and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`DiagnosticSnapshot`] if the no-progress
+    /// watchdog trips; use [`run_to_outcome`](Self::run_to_outcome) to
+    /// handle a stall programmatically.
     pub fn run(&mut self) -> RunResult {
-        self.run_with_deadline(None)
-            .expect("run without a deadline cannot time out")
+        match self.run_to_outcome(None) {
+            Ok(r) => r,
+            Err(RunError::TimedOut) => unreachable!("run without a deadline cannot time out"),
+            Err(RunError::Stalled(snap)) => panic!("{snap}"),
+        }
     }
 
     /// Runs Template 1 to completion, giving up when the host wall clock
@@ -294,7 +334,31 @@ impl System {
     /// watchdog threads are involved and a timed-out `System` is simply
     /// dropped. After a timeout the partially simulated state is
     /// inconsistent; do not call `run` again on the same instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`DiagnosticSnapshot`] if the no-progress
+    /// watchdog trips.
     pub fn run_with_deadline(&mut self, deadline: Option<Instant>) -> Option<RunResult> {
+        match self.run_to_outcome(deadline) {
+            Ok(r) => Some(r),
+            Err(RunError::TimedOut) => None,
+            Err(RunError::Stalled(snap)) => panic!("{snap}"),
+        }
+    }
+
+    /// Runs Template 1 to completion, reporting timeouts and watchdog
+    /// stalls as structured [`RunError`]s instead of panicking.
+    ///
+    /// After any `Err` the partially simulated state is inconsistent; do
+    /// not run the same instance again.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::TimedOut`] when the host wall clock passes `deadline`;
+    /// [`RunError::Stalled`] when no request retires for the configured
+    /// watchdog threshold.
+    pub fn run_to_outcome(&mut self, deadline: Option<Instant>) -> Result<RunResult, RunError> {
         let max_iter = self
             .cfg
             .max_iterations
@@ -306,7 +370,7 @@ impl System {
         while iterations < max_iter {
             if let Some(d) = deadline {
                 if Instant::now() >= d {
-                    return None;
+                    return Err(RunError::TimedOut);
                 }
             }
             // Publish active flags into the edge pointers (host work).
@@ -372,7 +436,7 @@ impl System {
                 moms_backpressure: stats.get("moms_backpressure"),
             },
         };
-        Some(RunResult {
+        Ok(RunResult {
             cycles: self.now,
             iterations,
             edges_processed: edges_total,
@@ -384,21 +448,33 @@ impl System {
         })
     }
 
-    /// Runs one iteration to completion; returns edges processed, or
-    /// `None` if the wall-clock deadline expired mid-iteration.
-    fn run_iteration(&mut self, deadline: Option<Instant>) -> Option<u64> {
+    /// Runs one iteration to completion; returns edges processed, or an
+    /// error if the wall-clock deadline expired or the watchdog tripped
+    /// mid-iteration.
+    fn run_iteration(&mut self, deadline: Option<Instant>) -> Result<u64, RunError> {
         /// Cycles between wall-clock polls (the simulator runs on the
         /// order of a million cycles per host second, so this checks a
         /// few dozen times per second without measurable overhead).
         const DEADLINE_POLL_MASK: u64 = (1 << 15) - 1;
+        /// Cycles between watchdog checks: cheap relative to the
+        /// threshold, frequent enough that detection latency is bounded
+        /// by `threshold + 1024`.
+        const WATCHDOG_POLL_MASK: u64 = (1 << 10) - 1;
         let mut edges = 0u64;
         let safety_limit = self.now + 2_000_000_000;
+        if let Some(w) = &mut self.watchdog {
+            // The inter-iteration host work (pointer maintenance, value
+            // carry) is not simulated progress; restart the quiet-period
+            // clock at the iteration boundary.
+            w.note_progress(self.now);
+        }
         loop {
             self.now += 1;
             let now = self.now;
+            let mut progressed = false;
             if let Some(d) = deadline {
                 if now & DEADLINE_POLL_MASK == 0 && Instant::now() >= d {
-                    return None;
+                    return Err(RunError::TimedOut);
                 }
             }
 
@@ -418,6 +494,7 @@ impl System {
                 // Collect results.
                 if let Some(r) = self.pes[i].take_result() {
                     edges += r.edges;
+                    progressed = true;
                     self.sched.complete(
                         r.d,
                         r.updated,
@@ -450,6 +527,7 @@ impl System {
                             .push_request(now, seg)
                             .unwrap_or_else(|_| unreachable!("checked can_accept"));
                         self.seg_q[i].pop_front();
+                        progressed = true;
                     } else {
                         break;
                     }
@@ -460,32 +538,47 @@ impl System {
             self.moms.tick(now, &mut self.mem);
             self.mem.tick(now);
 
-            // 5. Route DRAM completions.
+            // 5. Route DRAM completions, optionally through the fault
+            //    injector (delay/reorder/drop on the completion path).
+            let fault_on = self.fault.is_active();
             for ch in 0..self.mem.num_channels() {
                 while let Some(resp) = self.mem.pop_response(now, ch) {
-                    if MomsSystem::owns_dram_id(resp.id) {
-                        self.moms.dram_response(resp.id, resp.lines);
+                    if fault_on {
+                        self.fault.offer(now, resp);
                     } else {
-                        let (pe, tag) = decode_pe_id(resp.id);
-                        let left = self
-                            .burst_segments
-                            .get_mut(&(pe, tag))
-                            .expect("segment bookkeeping");
-                        *left -= 1;
-                        if *left == 0 {
-                            self.burst_segments.remove(&(pe, tag));
-                            self.pes[pe].burst_complete(tag, &self.img);
-                        }
+                        self.route_response(resp);
+                        progressed = true;
+                    }
+                }
+            }
+            if fault_on {
+                while let Some(resp) = self.fault.pop_ready(now) {
+                    self.route_response(resp);
+                    progressed = true;
+                }
+            }
+
+            // 6. Watchdog: any retirement above restarts the quiet-period
+            //    clock; a long enough silence trips the stall report.
+            if progressed {
+                if let Some(w) = &mut self.watchdog {
+                    w.note_progress(now);
+                }
+            } else if now & WATCHDOG_POLL_MASK == 0 {
+                if let Some(w) = &self.watchdog {
+                    if w.is_stalled(now) {
+                        return Err(RunError::Stalled(Box::new(self.diagnostic_snapshot())));
                     }
                 }
             }
 
-            // 6. Iteration barrier.
+            // 7. Iteration barrier.
             if self.sched.iteration_done()
                 && self.pes.iter().all(|p| p.is_idle())
                 && self.moms.is_idle()
                 && self.mem.is_idle()
                 && self.seg_q.iter().all(|q| q.is_empty())
+                && self.fault.pending() == 0
             {
                 break;
             }
@@ -494,7 +587,68 @@ impl System {
                 "iteration did not converge within the cycle safety limit"
             );
         }
-        Some(edges)
+        Ok(edges)
+    }
+
+    /// Delivers one DRAM completion to its owner (MOMS line fetch or PE
+    /// burst segment).
+    fn route_response(&mut self, resp: DramResponse) {
+        if MomsSystem::owns_dram_id(resp.id) {
+            self.moms.dram_response(resp.id, resp.lines);
+        } else {
+            let (pe, tag) = decode_pe_id(resp.id);
+            let left = self
+                .burst_segments
+                .get_mut(&(pe, tag))
+                .expect("segment bookkeeping");
+            *left -= 1;
+            if *left == 0 {
+                self.burst_segments.remove(&(pe, tag));
+                self.pes[pe].burst_complete(tag, &self.img);
+            }
+        }
+    }
+
+    /// Assembles the per-component state dump reported when the watchdog
+    /// trips: scheduler, PE phases and queues, MOMS banks, DRAM channels,
+    /// and the fault injector when active.
+    fn diagnostic_snapshot(&self) -> DiagnosticSnapshot {
+        let (last_progress, threshold) = self
+            .watchdog
+            .as_ref()
+            .map(|w| (w.last_progress(), w.threshold()))
+            .unwrap_or((0, 0));
+        let mut sections = Vec::new();
+
+        let mut s = DiagnosticSection::new("scheduler");
+        s.push("jobs_queued", self.sched.queue.len());
+        s.push("jobs_outstanding", self.sched.jobs_outstanding);
+        sections.push(s);
+
+        let mut s = DiagnosticSection::new("pes");
+        for (i, pe) in self.pes.iter().enumerate() {
+            s.push(format!("pe[{i}]"), pe.diagnostic());
+        }
+        for (i, q) in self.seg_q.iter().enumerate() {
+            if !q.is_empty() {
+                s.push(format!("seg_q[{i}]"), q.len());
+            }
+        }
+        s.push("bursts_awaiting_segments", self.burst_segments.len());
+        sections.push(s);
+
+        sections.push(self.moms.diagnostic());
+        sections.push(self.mem.diagnostic());
+        if self.fault.is_active() {
+            sections.push(self.fault.diagnostic());
+        }
+
+        DiagnosticSnapshot {
+            cycle: self.now,
+            last_progress,
+            threshold,
+            sections,
+        }
     }
 }
 

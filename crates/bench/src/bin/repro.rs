@@ -5,6 +5,8 @@
 //! ```text
 //! repro <experiment> [--full] [--shrink N] [--jobs N] [--timeout-secs S]
 //!                    [--out PATH] [--format json|csv]
+//!                    [--fault-profile P] [--fault-seed N]
+//!                    [--watchdog-cycles N]
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 ablate sweep syncasync paperscale related all
@@ -16,6 +18,11 @@
 //!                  `timed_out` rows instead of hanging the run
 //! --out PATH       write every simulated point as structured results
 //! --format F       json (default) or csv, for --out
+//! --fault-profile P  inject DRAM-response faults into every point:
+//!                  none|delay|reorder|nack|chaos-lite|chaos|black-hole
+//! --fault-seed N   seed for the deterministic fault schedule (default 0)
+//! --watchdog-cycles N  no-progress watchdog threshold in cycles
+//!                  (0 disables; default 2000000)
 //! ```
 
 use std::time::Duration;
@@ -29,9 +36,8 @@ fn main() {
     let mut which: Option<String> = None;
     let mut scope = Scope::quick();
     let mut engine_cfg = EngineConfig {
-        jobs: 0,
-        timeout: None,
         progress: true,
+        ..EngineConfig::default()
     };
     let mut out_path: Option<String> = None;
     let mut format = Format::Json;
@@ -75,6 +81,31 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--format is json or csv"));
+            }
+            "--fault-profile" => {
+                i += 1;
+                engine_cfg.fault.profile =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        usage(
+                            "--fault-profile is one of \
+                             none|delay|reorder|nack|chaos-lite|chaos|black-hole",
+                        )
+                    });
+            }
+            "--fault-seed" => {
+                i += 1;
+                engine_cfg.fault.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--fault-seed needs a number"));
+            }
+            "--watchdog-cycles" => {
+                i += 1;
+                engine_cfg.watchdog_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--watchdog-cycles needs a number")),
+                );
             }
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_owned()),
             s => usage(&format!("unknown argument {s}")),
@@ -147,7 +178,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|all> \
          [--full] [--shrink N] [--jobs N] [--timeout-secs S] \
-         [--out PATH] [--format json|csv]"
+         [--out PATH] [--format json|csv] \
+         [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \
+         [--fault-seed N] [--watchdog-cycles N]"
     );
     std::process::exit(2);
 }

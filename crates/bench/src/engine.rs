@@ -34,7 +34,7 @@ use graph::reorder::Preprocess;
 use graph::CooGraph;
 use simkit::record::{Record, Value};
 
-use crate::runner::{prepare_graph, run_graph_with_deadline, Row, RunSpec};
+use crate::runner::{prepare_graph, run_graph_outcome, Row, RunFailure, RunSpec};
 
 /// One experiment point: what to run, on which graph, on which design.
 #[derive(Debug, Clone)]
@@ -54,6 +54,9 @@ pub enum Outcome {
     Completed,
     /// The per-point wall-clock budget expired mid-simulation.
     TimedOut,
+    /// The point panicked or the no-progress watchdog tripped; the sweep
+    /// continued past it. See [`PointResult::error`].
+    Failed,
 }
 
 impl Outcome {
@@ -62,6 +65,7 @@ impl Outcome {
         match self {
             Outcome::Completed => "completed",
             Outcome::TimedOut => "timed_out",
+            Outcome::Failed => "failed",
         }
     }
 }
@@ -92,22 +96,25 @@ pub struct PointResult {
     pub execution: String,
     /// How the point ended.
     pub outcome: Outcome,
-    /// The throughput row (`None` on timeout).
+    /// The throughput row (`None` unless the point completed).
     pub row: Option<Row>,
-    /// MOMS/DRAM/PE metrics (`None` on timeout).
+    /// MOMS/DRAM/PE metrics (`None` unless the point completed).
     pub metrics: Option<MetricsSnapshot>,
+    /// What went wrong when `outcome` is [`Outcome::Failed`]: the panic
+    /// message or the watchdog's stall summary.
+    pub error: Option<String>,
     /// Host wall-clock seconds spent on this point (prepare + simulate).
     pub wall_seconds: f64,
 }
 
 impl PointResult {
-    /// Builds the result for `point` from a finished (or timed-out) run.
+    /// Builds the result for `point` from a finished (or failed) run.
     pub fn new(
         point: &PointSpec,
-        run: Option<(Row, MetricsSnapshot)>,
+        run: &Result<(Row, MetricsSnapshot), RunFailure>,
         wall_seconds: f64,
     ) -> PointResult {
-        PointResult::from_run(
+        PointResult::from_outcome(
             point.bench.tag(),
             point.algo,
             &point.spec,
@@ -116,18 +123,24 @@ impl PointResult {
         )
     }
 
-    /// Builds a result from the pieces [`run_graph_with_deadline`] works
-    /// with, so any run path can feed the recorder.
-    pub fn from_run(
+    /// Builds a result from the pieces [`run_graph_outcome`] works with,
+    /// so any run path can feed the recorder.
+    pub fn from_outcome(
         bench: &str,
         algo: Algorithm,
         spec: &RunSpec,
-        run: Option<(Row, MetricsSnapshot)>,
+        run: &Result<(Row, MetricsSnapshot), RunFailure>,
         wall_seconds: f64,
     ) -> PointResult {
-        let (row, metrics) = match run {
-            Some((row, metrics)) => (Some(row), Some(metrics)),
-            None => (None, None),
+        let (row, metrics, outcome, error) = match run {
+            Ok((row, metrics)) => (
+                Some(row.clone()),
+                Some(metrics.clone()),
+                Outcome::Completed,
+                None,
+            ),
+            Err(RunFailure::TimedOut) => (None, None, Outcome::TimedOut, None),
+            Err(RunFailure::Failed(msg)) => (None, None, Outcome::Failed, Some(msg.clone())),
         };
         PointResult {
             bench: bench.to_owned(),
@@ -138,13 +151,10 @@ impl PointResult {
             pre: spec.pre.name().to_owned(),
             shrink: spec.shrink,
             execution: spec.execution.name().to_owned(),
-            outcome: if row.is_some() {
-                Outcome::Completed
-            } else {
-                Outcome::TimedOut
-            },
+            outcome,
             row,
             metrics,
+            error,
             wall_seconds,
         }
     }
@@ -181,6 +191,7 @@ impl Record for PointResult {
             ("shrink", Value::from(self.shrink)),
             ("execution", Value::from(self.execution.clone())),
             ("outcome", Value::from(self.outcome.name())),
+            ("error", Value::from(self.error.clone())),
             ("cycles", Value::from(cycles)),
             ("iterations", Value::from(row.map(|r| r.iterations))),
             ("edges", Value::from(row.map(|r| r.edges))),
@@ -240,6 +251,13 @@ pub struct EngineConfig {
     /// Emit live progress (completed/total, ETA, slowest in-flight point)
     /// to stderr.
     pub progress: bool,
+    /// Fault-injection schedule applied to every simulated point (default:
+    /// no faults).
+    pub fault: simkit::FaultConfig,
+    /// Override for the per-run no-progress watchdog: `None` keeps the
+    /// simulator default, `Some(0)` disables the watchdog, any other
+    /// value sets the threshold in cycles.
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl EngineConfig {
@@ -273,6 +291,11 @@ static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
         jobs: 0,
         timeout: None,
         progress: false,
+        fault: simkit::FaultConfig {
+            profile: simkit::FaultProfile::None,
+            seed: 0,
+        },
+        watchdog_cycles: None,
     },
     recorder: None,
 });
@@ -425,17 +448,42 @@ pub fn run_points(points: &[PointSpec], cfg: &EngineConfig) -> Vec<PointResult> 
         .collect()
 }
 
+/// Renders a caught panic payload into a one-line message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
 fn run_one(point: &PointSpec, cache: &GraphCache, timeout: Option<Duration>) -> PointResult {
     let t = Instant::now();
-    let g = cache.get((
-        point.bench,
-        point.spec.pre,
-        point.spec.shrink,
-        point.algo.is_weighted(),
-    ));
-    let deadline = timeout.map(|t| Instant::now() + t);
-    let run = run_graph_with_deadline(&g, point.bench.tag(), point.algo, &point.spec, deadline);
-    PointResult::new(point, run, t.elapsed().as_secs_f64())
+    // A panicking point (bad spec, graph-prep failure, simulator bug)
+    // becomes a `Failed` row instead of tearing down the whole sweep.
+    // The closure only touches per-point state plus the graph cache,
+    // whose entries are immutable once inserted, so resuming after an
+    // unwind cannot observe broken invariants.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let g = cache.get((
+            point.bench,
+            point.spec.pre,
+            point.spec.shrink,
+            point.algo.is_weighted(),
+        ));
+        let deadline = timeout.map(|t| Instant::now() + t);
+        run_graph_outcome(&g, point.bench.tag(), point.algo, &point.spec, deadline)
+    }))
+    .unwrap_or_else(|payload| {
+        // The runner funnel never got to record this point; do it here so
+        // the export still carries one row per submitted point.
+        let failure = Err(RunFailure::Failed(panic_message(payload.as_ref())));
+        maybe_record(|| PointResult::new(point, &failure, t.elapsed().as_secs_f64()));
+        failure
+    });
+    PointResult::new(point, &run, t.elapsed().as_secs_f64())
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ pub mod runner;
 
 pub use arch::ArchPoint;
 pub use engine::{EngineConfig, Outcome, PointResult, PointSpec};
-pub use runner::{run_graph, run_point, CacheVariant, Row, RunSpec};
+pub use runner::{run_graph, run_graph_outcome, run_point, CacheVariant, Row, RunFailure, RunSpec};
 
 /// Geometric mean of positive values; 0 for an empty slice.
 pub fn geomean(xs: &[f64]) -> f64 {

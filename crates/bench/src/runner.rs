@@ -113,12 +113,89 @@ pub fn prepare_graph(bench: BenchmarkId, pre: Preprocess, shrink: u64, weighted:
     g
 }
 
+/// Why a point produced no result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunFailure {
+    /// The wall-clock deadline expired mid-simulation.
+    TimedOut,
+    /// The simulator panicked or its no-progress watchdog tripped; the
+    /// message carries the panic text or the stall summary.
+    Failed(String),
+}
+
 /// Runs one point on a prebuilt graph, optionally bounded by a wall-clock
-/// deadline. Returns the table row and the run's structured metrics, or
-/// `None` when the deadline expired mid-simulation.
+/// deadline. Returns the table row and the run's structured metrics, or a
+/// [`RunFailure`] describing why the point produced none.
 ///
-/// Every run path funnels through here, so this is also where the global
-/// result recorder ([`crate::engine`]) observes points when enabled.
+/// Every run path funnels through here, so this is where three pieces of
+/// global hardening apply: the engine's fault/watchdog overlay
+/// ([`crate::engine::global_config`]), panic containment (a panicking
+/// simulation becomes [`RunFailure::Failed`], not a crashed sweep), and
+/// the global result recorder when enabled.
+pub fn run_graph_outcome(
+    g: &CooGraph,
+    bench_tag: &str,
+    algo: Algorithm,
+    spec: &RunSpec,
+    deadline: Option<Instant>,
+) -> Result<(Row, accel::MetricsSnapshot), RunFailure> {
+    let eng = crate::engine::global_config();
+    let t = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut rc = spec.run_config();
+        rc.fault = eng.fault;
+        if let Some(wc) = eng.watchdog_cycles {
+            rc.watchdog_cycles = (wc > 0).then_some(wc);
+        }
+        let (cfg, partitioner) = rc.build();
+        let mut sys = System::new(g, partitioner, algo, cfg);
+        sys.run_to_outcome(deadline)
+    }));
+    let sim_seconds = t.elapsed().as_secs_f64();
+    let out = match outcome {
+        Ok(Ok(result)) => {
+            let freq = spec.arch.frequency_mhz(spec.channels, &algo);
+            let row = Row {
+                bench: bench_tag.to_owned(),
+                algo: algo.name().to_owned(),
+                arch: spec.arch.name.to_owned(),
+                cycles: result.cycles,
+                iterations: result.iterations,
+                edges: result.edges_processed,
+                freq_mhz: freq,
+                gteps: result.gteps(freq),
+                hit_rate: result.cache_hit_rate,
+                moms_dram_lines: result.stats.get("dram_line_requests"),
+                sim_seconds,
+            };
+            Ok((row, result.metrics))
+        }
+        Ok(Err(accel::RunError::TimedOut)) => Err(RunFailure::TimedOut),
+        Ok(Err(accel::RunError::Stalled(snap))) => {
+            eprintln!("[{bench_tag}/{}/{}] {snap}", algo.name(), spec.arch.name);
+            Err(RunFailure::Failed(format!(
+                "watchdog: no forward progress for {} cycles (threshold {})",
+                snap.cycle.saturating_sub(snap.last_progress),
+                snap.threshold
+            )))
+        }
+        Err(payload) => Err(RunFailure::Failed(crate::engine::panic_message(
+            payload.as_ref(),
+        ))),
+    };
+    crate::engine::maybe_record(|| {
+        crate::engine::PointResult::from_outcome(bench_tag, algo, spec, &out, sim_seconds)
+    });
+    out
+}
+
+/// Runs one point on a prebuilt graph, optionally bounded by a wall-clock
+/// deadline. Returns `None` when the deadline expired.
+///
+/// # Panics
+///
+/// Re-raises a contained simulator failure ([`RunFailure::Failed`]) as a
+/// panic; use [`run_graph_outcome`] to handle failures programmatically.
 pub fn run_graph_with_deadline(
     g: &CooGraph,
     bench_tag: &str,
@@ -126,35 +203,18 @@ pub fn run_graph_with_deadline(
     spec: &RunSpec,
     deadline: Option<Instant>,
 ) -> Option<(Row, accel::MetricsSnapshot)> {
-    let (cfg, partitioner) = spec.run_config().build();
-    let t = Instant::now();
-    let mut sys = System::new(g, partitioner, algo, cfg);
-    let result = sys.run_with_deadline(deadline);
-    let sim_seconds = t.elapsed().as_secs_f64();
-    let out = result.map(|result| {
-        let freq = spec.arch.frequency_mhz(spec.channels, &algo);
-        let row = Row {
-            bench: bench_tag.to_owned(),
-            algo: algo.name().to_owned(),
-            arch: spec.arch.name.to_owned(),
-            cycles: result.cycles,
-            iterations: result.iterations,
-            edges: result.edges_processed,
-            freq_mhz: freq,
-            gteps: result.gteps(freq),
-            hit_rate: result.cache_hit_rate,
-            moms_dram_lines: result.stats.get("dram_line_requests"),
-            sim_seconds,
-        };
-        (row, result.metrics)
-    });
-    crate::engine::maybe_record(|| {
-        crate::engine::PointResult::from_run(bench_tag, algo, spec, out.clone(), sim_seconds)
-    });
-    out
+    match run_graph_outcome(g, bench_tag, algo, spec, deadline) {
+        Ok(out) => Some(out),
+        Err(RunFailure::TimedOut) => None,
+        Err(RunFailure::Failed(msg)) => panic!("simulation failed: {msg}"),
+    }
 }
 
 /// Runs one point on a prebuilt graph.
+///
+/// # Panics
+///
+/// Panics when the simulation fails (see [`run_graph_outcome`]).
 pub fn run_graph(g: &CooGraph, bench_tag: &str, algo: Algorithm, spec: &RunSpec) -> Row {
     run_graph_with_deadline(g, bench_tag, algo, spec, None)
         .expect("run without a deadline cannot time out")

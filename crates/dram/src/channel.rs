@@ -156,6 +156,10 @@ pub struct DramChannel {
     /// nondecreasing because transfers serialise on the data bus.
     completions: VecDeque<(Cycle, DramResponse)>,
     stats: Stats,
+    /// Transactions ever accepted (conservation ledger).
+    ledger_pushed: u64,
+    /// Responses ever handed out (conservation ledger).
+    ledger_popped: u64,
 }
 
 impl DramChannel {
@@ -175,6 +179,8 @@ impl DramChannel {
             completions: VecDeque::new(),
             cfg,
             stats: Stats::new(),
+            ledger_pushed: 0,
+            ledger_popped: 0,
         }
     }
 
@@ -190,13 +196,20 @@ impl DramChannel {
     /// Returns the request back if the queue is full; callers retry next
     /// cycle (hardware backpressure).
     pub fn push_request(&mut self, req: DramRequest) -> Result<(), DramRequest> {
-        self.requests.push(req).map_err(|e| e.0)
+        let out = self.requests.push(req).map_err(|e| e.0);
+        if out.is_ok() {
+            self.ledger_pushed += 1;
+        }
+        out
     }
 
     /// Pops a completed transaction if one has matured by `now`.
     pub fn pop_response(&mut self, now: Cycle) -> Option<DramResponse> {
         match self.completions.front() {
-            Some((ready, _)) if *ready <= now => self.completions.pop_front().map(|(_, r)| r),
+            Some((ready, _)) if *ready <= now => {
+                self.ledger_popped += 1;
+                self.completions.pop_front().map(|(_, r)| r)
+            }
             _ => None,
         }
     }
@@ -209,8 +222,53 @@ impl DramChannel {
         (bank, row)
     }
 
+    /// Conservation invariants, checked every tick when the `invariants`
+    /// feature is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a transaction was lost or duplicated, or the in-order
+    /// completion queue lost its monotonicity.
+    #[cfg(feature = "invariants")]
+    fn check_invariants(&self) {
+        assert_eq!(
+            self.ledger_pushed,
+            self.ledger_popped + self.requests.len() as u64 + self.completions.len() as u64,
+            "DRAM transaction conservation violated: pushed {} != popped {} \
+             + queued {} + completing {}",
+            self.ledger_pushed,
+            self.ledger_popped,
+            self.requests.len(),
+            self.completions.len(),
+        );
+        let mut prev = 0;
+        for &(ready, _) in &self.completions {
+            assert!(
+                ready >= prev,
+                "completion queue lost in-order delivery ({ready} after {prev})"
+            );
+            prev = ready;
+        }
+    }
+
+    /// One-line occupancy summary for watchdog diagnostics.
+    pub fn diagnostic(&self) -> String {
+        format!(
+            "queued={} completing={} bus_free_at={}",
+            self.requests.len(),
+            self.completions.len(),
+            self.bus_free_at,
+        )
+    }
+
     /// Advances one cycle: schedules at most one transaction onto the bus.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_inner(now);
+        #[cfg(feature = "invariants")]
+        self.check_invariants();
+    }
+
+    fn tick_inner(&mut self, now: Cycle) {
         self.requests.tick();
         if self.bus_free_at > now {
             return; // data bus busy; cannot start another transfer

@@ -139,6 +139,15 @@ impl MemorySystem {
     pub fn snapshot(&self) -> Vec<DramChannelSnapshot> {
         self.channels.iter().map(|c| c.snapshot()).collect()
     }
+
+    /// Per-channel queue and bus state as a watchdog diagnostic section.
+    pub fn diagnostic(&self) -> simkit::watchdog::DiagnosticSection {
+        let mut s = simkit::watchdog::DiagnosticSection::new("dram");
+        for (i, c) in self.channels.iter().enumerate() {
+            s.push(format!("channel[{i}]"), c.diagnostic());
+        }
+        s
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,10 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 use crate::coo::{CooGraph, NodeId};
 
-/// Errors produced while parsing an edge list.
+/// Errors produced while reading a graph file (text edge list or binary
+/// COO), each carrying enough context to locate the corruption.
 #[derive(Debug)]
-pub enum ParseGraphError {
+pub enum GraphIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A line could not be parsed as `src dst [weight]`.
@@ -27,35 +28,64 @@ pub enum ParseGraphError {
     Empty,
     /// Some edges carried weights and others did not.
     MixedWeights,
+    /// The binary file does not start with the `MOMSCOO1` magic.
+    BadMagic,
+    /// The file ended before the named structure was complete.
+    Truncated {
+        /// What was being read when the input ran out.
+        what: &'static str,
+    },
+    /// A binary edge references a node outside the declared node count.
+    EdgeOutOfRange {
+        /// 0-based edge record index.
+        index: usize,
+        /// The offending endpoint.
+        node: u32,
+        /// The declared node count.
+        nodes: u32,
+    },
 }
 
-impl std::fmt::Display for ParseGraphError {
+/// Former name of [`GraphIoError`], kept for source compatibility.
+pub type ParseGraphError = GraphIoError;
+
+impl std::fmt::Display for GraphIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseGraphError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseGraphError::BadLine { line, content } => {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::BadLine { line, content } => {
                 write!(f, "line {line} is not 'src dst [weight]': {content:?}")
             }
-            ParseGraphError::Empty => write!(f, "edge list contains no edges"),
-            ParseGraphError::MixedWeights => {
+            GraphIoError::Empty => write!(f, "edge list contains no edges"),
+            GraphIoError::MixedWeights => {
                 write!(f, "some edges have weights and others do not")
+            }
+            GraphIoError::BadMagic => write!(f, "not a MOMSCOO1 file"),
+            GraphIoError::Truncated { what } => {
+                write!(f, "file truncated while reading {what}")
+            }
+            GraphIoError::EdgeOutOfRange { index, node, nodes } => {
+                write!(
+                    f,
+                    "edge record {index} references node {node} outside 0..{nodes}"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for ParseGraphError {
+impl std::error::Error for GraphIoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ParseGraphError::Io(e) => Some(e),
+            GraphIoError::Io(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for ParseGraphError {
+impl From<std::io::Error> for GraphIoError {
     fn from(e: std::io::Error) -> Self {
-        ParseGraphError::Io(e)
+        GraphIoError::Io(e)
     }
 }
 
@@ -66,13 +96,13 @@ impl From<std::io::Error> for ParseGraphError {
 ///
 /// # Errors
 ///
-/// Returns [`ParseGraphError`] on malformed lines, empty input, or mixed
+/// Returns [`GraphIoError`] on malformed lines, empty input, or mixed
 /// weighted/unweighted rows.
 ///
 /// # Example
 ///
 /// ```
-/// # fn main() -> Result<(), graph::io::ParseGraphError> {
+/// # fn main() -> Result<(), graph::io::GraphIoError> {
 /// let text = "# comment\n0 1\n1 2\n2 0\n";
 /// let g = graph::io::read_edge_list(text.as_bytes())?;
 /// assert_eq!(g.num_nodes(), 3);
@@ -80,7 +110,7 @@ impl From<std::io::Error> for ParseGraphError {
 /// # Ok(())
 /// # }
 /// ```
-pub fn read_edge_list<R: Read>(reader: R) -> Result<CooGraph, ParseGraphError> {
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CooGraph, GraphIoError> {
     let reader = BufReader::new(reader);
     let mut label_to_id: std::collections::HashMap<u64, NodeId> = Default::default();
     let mut next_id: NodeId = 0;
@@ -103,7 +133,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CooGraph, ParseGraphError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let bad = || ParseGraphError::BadLine {
+        let bad = || GraphIoError::BadLine {
             line: i + 1,
             content: t.to_owned(),
         };
@@ -122,20 +152,20 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CooGraph, ParseGraphError> {
         match w {
             Some(w) => {
                 if saw_unweighted {
-                    return Err(ParseGraphError::MixedWeights);
+                    return Err(GraphIoError::MixedWeights);
                 }
                 weights.push(w);
             }
             None => {
                 if !weights.is_empty() {
-                    return Err(ParseGraphError::MixedWeights);
+                    return Err(GraphIoError::MixedWeights);
                 }
                 saw_unweighted = true;
             }
         }
     }
     if edges.is_empty() {
-        return Err(ParseGraphError::Empty);
+        return Err(GraphIoError::Empty);
     }
     let n = next_id;
     Ok(if weights.is_empty() {
@@ -194,37 +224,57 @@ pub fn write_binary<W: Write>(g: &CooGraph, writer: W) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns an `InvalidData` I/O error on a bad magic or truncated file.
-pub fn read_binary<R: Read>(reader: R) -> std::io::Result<CooGraph> {
+/// Returns [`GraphIoError::BadMagic`] on a foreign file,
+/// [`GraphIoError::Truncated`] when the input ends mid-structure,
+/// [`GraphIoError::EdgeOutOfRange`] when an edge references a node
+/// outside the declared count, and [`GraphIoError::Io`] on any other
+/// read failure.
+pub fn read_binary<R: Read>(reader: R) -> Result<CooGraph, GraphIoError> {
     let mut r = BufReader::new(reader);
-    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
+    let read = |r: &mut BufReader<R>, buf: &mut [u8], what: &'static str| match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(GraphIoError::Truncated { what })
+        }
+        Err(e) => Err(GraphIoError::Io(e)),
+    };
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read(&mut r, &mut magic, "magic")?;
     if &magic != BIN_MAGIC {
-        return Err(bad("not a MOMSCOO1 file"));
+        return Err(GraphIoError::BadMagic);
     }
     let mut b4 = [0u8; 4];
     let mut b8 = [0u8; 8];
-    r.read_exact(&mut b4)?;
+    read(&mut r, &mut b4, "node count")?;
     let n = u32::from_le_bytes(b4);
-    r.read_exact(&mut b8)?;
+    read(&mut r, &mut b8, "edge count")?;
     let m = u64::from_le_bytes(b8) as usize;
     let mut flag = [0u8; 1];
-    r.read_exact(&mut flag)?;
+    read(&mut r, &mut flag, "weighted flag")?;
     let weighted = flag[0] != 0;
-    let mut edges = Vec::with_capacity(m);
-    let mut weights = weighted.then(|| Vec::with_capacity(m));
-    for _ in 0..m {
-        r.read_exact(&mut b4)?;
+    // A corrupt header can declare an absurd edge count; cap the
+    // preallocation so a short, damaged file cannot demand gigabytes up
+    // front. The vectors still grow to any honest size.
+    let cap = m.min(1 << 20);
+    let mut edges = Vec::with_capacity(cap);
+    let mut weights = weighted.then(|| Vec::with_capacity(cap));
+    for index in 0..m {
+        read(&mut r, &mut b4, "edge source")?;
         let s = u32::from_le_bytes(b4);
-        r.read_exact(&mut b4)?;
+        read(&mut r, &mut b4, "edge destination")?;
         let d = u32::from_le_bytes(b4);
-        if s >= n || d >= n {
-            return Err(bad("edge endpoint out of range"));
+        for node in [s, d] {
+            if node >= n {
+                return Err(GraphIoError::EdgeOutOfRange {
+                    index,
+                    node,
+                    nodes: n,
+                });
+            }
         }
         edges.push((s, d));
         if let Some(ws) = &mut weights {
-            r.read_exact(&mut b4)?;
+            read(&mut r, &mut b4, "edge weight")?;
             ws.push(u32::from_le_bytes(b4));
         }
     }
@@ -313,10 +363,65 @@ mod tests {
 
     #[test]
     fn binary_rejects_garbage() {
-        assert!(read_binary(&b"NOTMAGIC"[..]).is_err());
+        assert!(matches!(
+            read_binary(&b"NOTMAGIC"[..]),
+            Err(GraphIoError::BadMagic)
+        ));
         let mut buf = Vec::new();
         write_binary(&GraphSpec::rmat(4, 2).build(1), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(&buf[..]).is_err());
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_truncated_header_names_the_missing_field() {
+        // Magic only: dies reading the node count.
+        match read_binary(&BIN_MAGIC[..]) {
+            Err(GraphIoError::Truncated { what }) => assert_eq!(what, "node count"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Header but no edge records.
+        let mut buf = Vec::new();
+        write_binary(&GraphSpec::rmat(4, 2).build(1), &mut buf).unwrap();
+        buf.truncate(8 + 4 + 8 + 1);
+        match read_binary(&buf[..]) {
+            Err(GraphIoError::Truncated { what }) => assert_eq!(what, "edge source"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_edge_out_of_range_is_reported() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BIN_MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes()); // 2 nodes
+        buf.extend_from_slice(&1u64.to_le_bytes()); // 1 edge
+        buf.push(0); // unweighted
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes()); // dst out of range
+        match read_binary(&buf[..]) {
+            Err(GraphIoError::EdgeOutOfRange { index, node, nodes }) => {
+                assert_eq!((index, node, nodes), (0, 7, 2));
+            }
+            other => panic!("expected EdgeOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_corrupt_edge_count_does_not_preallocate() {
+        // A header claiming u64::MAX edges must fail on truncation, not
+        // abort on an oversized allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BIN_MAGIC);
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.push(0);
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::Truncated { .. })
+        ));
     }
 }

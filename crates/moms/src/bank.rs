@@ -125,6 +125,10 @@ pub struct MomsBank {
     assembly: VecDeque<AsmWindow>,
     busy_until: Cycle,
     stats: Stats,
+    /// Requests ever accepted into `in_q` (conservation ledger).
+    ledger_accepted: u64,
+    /// Responses ever pushed into `out_q` (conservation ledger).
+    ledger_responded: u64,
 }
 
 impl MomsBank {
@@ -154,6 +158,8 @@ impl MomsBank {
             assembly: VecDeque::new(),
             busy_until: 0,
             stats: Stats::new(),
+            ledger_accepted: 0,
+            ledger_responded: 0,
             cfg,
         }
     }
@@ -166,7 +172,11 @@ impl MomsBank {
     /// Offers a request; returns `false` (leaving the caller to retry)
     /// when the input queue is full.
     pub fn try_request(&mut self, req: MomsReq) -> bool {
-        self.in_q.push(req).is_ok()
+        let ok = self.in_q.push(req).is_ok();
+        if ok {
+            self.ledger_accepted += 1;
+        }
+        ok
     }
 
     /// Pops a completed response.
@@ -286,8 +296,110 @@ impl MomsBank {
         &self.cfg
     }
 
+    /// One-line occupancy summary for watchdog diagnostics.
+    pub fn diagnostic(&self) -> String {
+        let replaying: usize = self.replay.iter().map(|r| r.entries.len()).sum();
+        format!(
+            "in_q={} out_q={} mem_req={} mem_resp={} replay={} asm={} mshr={}/{} \
+             subs={} free_rows={} busy_until={}",
+            self.in_q.len(),
+            self.out_q.len(),
+            self.mem_req_q.len(),
+            self.mem_resp_q.len(),
+            replaying,
+            self.assembly.len(),
+            self.mshr.occupancy(),
+            self.mshr.capacity(),
+            self.subs.used_entries(),
+            self.subs.free_rows(),
+            self.busy_until,
+        )
+    }
+
+    /// How often the O(capacity) structural walks run: the conservation
+    /// ledger is checked every tick, the full array/chain walks every
+    /// `STRUCT_CHECK_MASK + 1` ticks (a drifted counter or leaked row is
+    /// still caught, just up to 1024 ticks late — a per-tick walk over
+    /// every cuckoo slot, cache way, and subentry row makes paper-sized
+    /// configurations hundreds of times slower).
+    #[cfg(feature = "invariants")]
+    const STRUCT_CHECK_MASK: Cycle = (1 << 10) - 1;
+
+    /// Conservation ledger, checked every tick when the `invariants`
+    /// feature is on: every accepted request is in exactly one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a request was lost or duplicated.
+    #[cfg(feature = "invariants")]
+    fn check_ledger(&self) {
+        let replaying: u64 = self.replay.iter().map(|r| r.entries.len() as u64).sum();
+        assert_eq!(
+            self.ledger_accepted,
+            self.ledger_responded
+                + self.in_q.len() as u64
+                + self.subs.used_entries() as u64
+                + replaying,
+            "request conservation violated: accepted {} != responded {} + queued {} \
+             + pending {} + replaying {replaying}",
+            self.ledger_accepted,
+            self.ledger_responded,
+            self.in_q.len(),
+            self.subs.used_entries(),
+        );
+    }
+
+    /// Deep structural consistency: cuckoo tag store, subentry free
+    /// lists, cache arrays, and MSHR↔chain agreement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the MSHR/subentry alloc–free balance broke or a
+    /// structure lost internal consistency.
+    #[cfg(feature = "invariants")]
+    fn check_structures(&self) {
+        self.mshr.check_consistency();
+        self.subs.check_consistency();
+        if let Some(c) = &self.cache {
+            c.check_consistency();
+        }
+        let mut pending_total = 0usize;
+        let mut chain_rows = 0usize;
+        for e in self.mshr.iter() {
+            assert_eq!(
+                self.subs.chain_len(e.head_row),
+                e.pending as usize,
+                "MSHR chain length disagrees with its pending count for line {}",
+                e.line
+            );
+            pending_total += e.pending as usize;
+            chain_rows += self.subs.chain_row_count(e.head_row);
+        }
+        assert_eq!(
+            pending_total,
+            self.subs.used_entries(),
+            "subentries alive outside any MSHR chain"
+        );
+        assert_eq!(
+            chain_rows,
+            self.subs.total_rows() - self.subs.free_rows(),
+            "subentry row alloc/free imbalance (leaked or double-freed row)"
+        );
+    }
+
     /// Advances one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_inner(now);
+        #[cfg(feature = "invariants")]
+        {
+            self.check_ledger();
+            if now & Self::STRUCT_CHECK_MASK == 0 {
+                self.check_structures();
+            }
+        }
+    }
+
+    fn tick_inner(&mut self, now: Cycle) {
         self.in_q.tick();
         self.out_q.tick();
         self.mem_req_q.tick();
@@ -337,6 +449,7 @@ impl MomsBank {
                     })
                     .unwrap_or_else(|_| unreachable!("checked can_push"));
                 self.stats.inc("responses");
+                self.ledger_responded += 1;
                 if rep.entries.is_empty() {
                     self.replay.pop_front();
                 }
@@ -390,6 +503,7 @@ impl MomsBank {
                         .unwrap_or_else(|_| unreachable!("checked can_push"));
                     self.stats.inc("cache_hits");
                     self.stats.inc("responses");
+                    self.ledger_responded += 1;
                 } else {
                     self.stats.inc("stall_out_full");
                 }

@@ -164,6 +164,35 @@ impl CacheArray {
     pub fn config(&self) -> CacheConfig {
         self.cfg
     }
+
+    /// Verifies tag-store consistency: no set holds two valid ways with
+    /// the same tag, and every valid tag maps to its set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation; used by the `invariants` feature.
+    pub fn check_consistency(&self) {
+        for set in 0..self.sets {
+            let base = set * self.cfg.ways;
+            let ways = &self.ways[base..base + self.cfg.ways];
+            for (i, w) in ways.iter().enumerate() {
+                if !w.valid {
+                    continue;
+                }
+                assert_eq!(
+                    self.set_of(w.tag),
+                    set,
+                    "tag {} stored in the wrong set {set}",
+                    w.tag
+                );
+                assert!(
+                    !ways[i + 1..].iter().any(|o| o.valid && o.tag == w.tag),
+                    "tag {} duplicated within set {set}",
+                    w.tag
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -225,6 +225,38 @@ impl CuckooMshr {
         InsertOutcome::Failed
     }
 
+    /// Iterates over the live entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.slots.iter().flatten()
+    }
+
+    /// Verifies structural consistency: the occupancy counter matches the
+    /// live entry count, no line has two entries, and (in cuckoo mode)
+    /// every entry sits in one of its d candidate slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation; used by the `invariants` feature.
+    pub fn check_consistency(&self) {
+        let live = self.slots.iter().flatten().count();
+        assert_eq!(
+            live, self.occupancy,
+            "cuckoo occupancy counter drifted from live entry count"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let Some(e) = slot else { continue };
+            assert!(seen.insert(e.line), "duplicate MSHR for line {}", e.line);
+            if self.ways > 0 {
+                assert!(
+                    (0..self.ways).any(|w| self.hash(w, e.line) == idx),
+                    "MSHR for line {} stored in slot {idx}, unreachable by its hashes",
+                    e.line
+                );
+            }
+        }
+    }
+
     fn note_insert(&mut self) {
         self.occupancy += 1;
         self.peak_occupancy = self.peak_occupancy.max(self.occupancy);

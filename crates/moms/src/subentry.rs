@@ -196,6 +196,44 @@ impl SubentryBuffer {
         }
         n
     }
+
+    /// Number of rows in the chain starting at `head` (O(rows)).
+    pub fn chain_row_count(&self, head: u32) -> usize {
+        let mut n = 0;
+        let mut cur = head;
+        while cur != NO_ROW {
+            n += 1;
+            cur = self.rows[cur as usize].next;
+        }
+        n
+    }
+
+    /// Total rows in the pool (free plus allocated).
+    pub fn total_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Verifies structural consistency: the live-entry counter matches the
+    /// per-row sums, the free list holds only empty, distinct rows, and no
+    /// free row links anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation; used by the `invariants` feature.
+    pub fn check_consistency(&self) {
+        let total: usize = self.rows.iter().map(|r| r.entries.len()).sum();
+        assert_eq!(
+            total, self.used_entries,
+            "subentry used_entries counter drifted from per-row sums"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for &idx in &self.free {
+            assert!(seen.insert(idx), "row {idx} on the free list twice");
+            let row = &self.rows[idx as usize];
+            assert!(row.entries.is_empty(), "free row {idx} holds entries");
+            assert_eq!(row.next, NO_ROW, "free row {idx} links to another row");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -712,6 +712,33 @@ impl MomsSystem {
         self.snapshot().banks.cache_hit_rate()
     }
 
+    /// Per-bank occupancies and network fill as a watchdog diagnostic
+    /// section.
+    pub fn diagnostic(&self) -> simkit::DiagnosticSection {
+        let mut s = simkit::DiagnosticSection::new("moms");
+        s.push("topology", self.cfg.topology.name());
+        let nets: usize = self.req_net.iter().map(|v| v.len()).sum::<usize>()
+            + self.resp_net.iter().map(|v| v.len()).sum::<usize>()
+            + self.line_net.iter().map(|v| v.len()).sum::<usize>();
+        s.push("in_flight_network_items", nets);
+        let stash: usize = self.dram_stash.iter().map(|v| v.len()).sum();
+        s.push("stashed_dram_responses", stash);
+        let pe_q: usize = self.pe_req.iter().map(|q| q.len()).sum::<usize>()
+            + self.pe_resp.iter().map(|q| q.len()).sum::<usize>();
+        s.push("pe_port_queue_items", pe_q);
+        for (i, b) in self.private.iter().enumerate() {
+            if !b.is_idle() {
+                s.push(format!("private[{i}]"), b.diagnostic());
+            }
+        }
+        for (i, b) in self.shared.iter().enumerate() {
+            if !b.is_idle() {
+                s.push(format!("shared[{i}]"), b.diagnostic());
+            }
+        }
+        s
+    }
+
     /// Configuration.
     pub fn config(&self) -> &MomsSystemConfig {
         &self.cfg

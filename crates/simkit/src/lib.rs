@@ -15,6 +15,10 @@
 //! * [`Stats`] — a name→counter registry for throughput/occupancy metrics.
 //! * [`record`] — a dependency-free [`Record`]/[`Value`] model with JSON
 //!   and CSV writers, used by the experiment harness to export results.
+//! * [`Watchdog`] — no-forward-progress detection that turns silent
+//!   deadlocks into structured [`DiagnosticSnapshot`] dumps.
+//! * [`FaultInjector`] — a deterministic, seedable delay/reorder/NACK
+//!   stage for stress-testing response streams.
 //!
 //! # Example
 //!
@@ -31,18 +35,22 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod delay;
+pub mod fault;
 pub mod fifo;
 pub mod handshake;
 pub mod record;
 pub mod rng;
 pub mod stats;
+pub mod watchdog;
 
 pub use delay::DelayLine;
+pub use fault::{FaultConfig, FaultInjector, FaultProfile};
 pub use fifo::{Fifo, PushError};
 pub use handshake::CrossingLink;
 pub use record::{Record, Value};
 pub use rng::SplitMix64;
 pub use stats::Stats;
+pub use watchdog::{DiagnosticSection, DiagnosticSnapshot, Watchdog};
 
 /// Simulation time, in clock cycles of the modelled design.
 pub type Cycle = u64;

@@ -32,6 +32,8 @@ fn config(topology: Topology, pes: usize, channels: usize) -> SystemConfig {
         max_iterations: None,
         execution: accel::ExecutionMode::AlgorithmDefault,
         moms_trace_cap: 0,
+        fault: simkit::FaultConfig::none(),
+        watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
     }
 }
 

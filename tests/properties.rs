@@ -57,6 +57,8 @@ fn small_config() -> SystemConfig {
         max_iterations: None,
         execution: accel::ExecutionMode::AlgorithmDefault,
         moms_trace_cap: 0,
+        fault: simkit::FaultConfig::none(),
+        watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
     }
 }
 
