@@ -2,7 +2,7 @@
 
 use dram::DramConfig;
 use moms::{MomsConfig, MomsSystemConfig, Topology};
-use simkit::{Cycle, FaultConfig};
+use simkit::{Cycle, FaultConfig, TraceConfig};
 
 /// Default no-progress watchdog threshold in cycles: far above any real
 /// quiet stretch (DRAM round trips are hundreds of cycles) yet cheap to
@@ -114,6 +114,9 @@ pub struct SystemConfig {
     pub fault: FaultConfig,
     /// No-progress watchdog threshold; `None` disables the watchdog.
     pub watchdog_cycles: Option<Cycle>,
+    /// Observability layer: event/counter tracing (default: off, every
+    /// hook is a dead branch).
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -146,6 +149,7 @@ impl SystemConfig {
             moms_trace_cap: 0,
             fault: FaultConfig::none(),
             watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
+            trace: TraceConfig::default(),
         }
     }
 

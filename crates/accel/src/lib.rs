@@ -44,6 +44,6 @@ pub mod system;
 
 pub use config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 pub use driver::Driver;
-pub use pe::Pe;
+pub use pe::{Pe, PeCycleBreakdown};
 pub use run_config::{CacheVariant, RunConfig};
 pub use system::{MetricsSnapshot, PeStallBreakdown, RunError, RunResult, System};

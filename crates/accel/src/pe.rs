@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use simkit::trace::{EventKind, TraceEvent, Tracer};
 use simkit::{Cycle, Stats};
 
 use algos::Algorithm;
@@ -88,6 +89,92 @@ enum Phase {
     Stream,
     Apply,
     Writeback,
+}
+
+/// Exhaustive per-cycle attribution for one PE: every simulated cycle the
+/// PE existed lands in exactly one field, so the fields always sum to the
+/// cycles the PE was ticked. This is what `repro explain` renders — unlike
+/// the event counters in [`Pe::stats`], it cannot under- or over-count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeCycleBreakdown {
+    /// No job assigned.
+    pub idle: u64,
+    /// Node-initialisation phase (vin/vconst bursts + BRAM fill).
+    pub init: u64,
+    /// Waiting on the edge-pointer burst.
+    pub fetch_ptrs: u64,
+    /// `apply()` sweep over the destination interval.
+    pub apply: u64,
+    /// Write-back bursts draining.
+    pub writeback: u64,
+    /// Stream cycles that made forward progress (retired, issued,
+    /// accepted a MOMS response, or consumed an edge).
+    pub stream_productive: u64,
+    /// Stream cycles blocked only by a read-after-write hazard in the
+    /// gather pipeline.
+    pub stream_raw_hazard: u64,
+    /// Stream cycles refused by a full MOMS input port.
+    pub stream_backpressure: u64,
+    /// Stream cycles starved for a free ID slot (weighted graphs).
+    pub stream_id_starved: u64,
+    /// Stream cycles waiting only on outstanding MOMS responses.
+    pub stream_moms_wait: u64,
+    /// Stream cycles waiting only on edge-burst DRAM data.
+    pub stream_dram_wait: u64,
+    /// Residual stream cycles (gather-pipeline latency drain).
+    pub stream_drain: u64,
+}
+
+impl PeCycleBreakdown {
+    /// Sum of every class — equals the cycles this PE was ticked.
+    pub fn total(&self) -> u64 {
+        self.idle + self.init + self.fetch_ptrs + self.apply + self.writeback + self.stream_total()
+    }
+
+    /// Cycles spent in the edge-streaming phase, all classes.
+    pub fn stream_total(&self) -> u64 {
+        self.stream_productive
+            + self.stream_raw_hazard
+            + self.stream_backpressure
+            + self.stream_id_starved
+            + self.stream_moms_wait
+            + self.stream_dram_wait
+            + self.stream_drain
+    }
+
+    /// Adds `other` into `self`, field by field (for summing over PEs).
+    pub fn accumulate(&mut self, other: &PeCycleBreakdown) {
+        self.idle += other.idle;
+        self.init += other.init;
+        self.fetch_ptrs += other.fetch_ptrs;
+        self.apply += other.apply;
+        self.writeback += other.writeback;
+        self.stream_productive += other.stream_productive;
+        self.stream_raw_hazard += other.stream_raw_hazard;
+        self.stream_backpressure += other.stream_backpressure;
+        self.stream_id_starved += other.stream_id_starved;
+        self.stream_moms_wait += other.stream_moms_wait;
+        self.stream_dram_wait += other.stream_dram_wait;
+        self.stream_drain += other.stream_drain;
+    }
+
+    /// `(label, cycles)` rows in display order, for attribution tables.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("idle", self.idle),
+            ("init", self.init),
+            ("fetch-ptrs", self.fetch_ptrs),
+            ("apply", self.apply),
+            ("writeback", self.writeback),
+            ("stream/productive", self.stream_productive),
+            ("stream/raw-hazard", self.stream_raw_hazard),
+            ("stream/moms-backpressure", self.stream_backpressure),
+            ("stream/id-starved", self.stream_id_starved),
+            ("stream/moms-wait", self.stream_moms_wait),
+            ("stream/dram-wait", self.stream_dram_wait),
+            ("stream/drain", self.stream_drain),
+        ]
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -174,6 +261,8 @@ pub struct Pe {
     edges_done: u64,
     result: Option<JobResult>,
     stats: Stats,
+    breakdown: PeCycleBreakdown,
+    tracer: Tracer,
 }
 
 impl Pe {
@@ -216,6 +305,8 @@ impl Pe {
             phase: Phase::Idle,
             job: None,
             stats: Stats::new(),
+            breakdown: PeCycleBreakdown::default(),
+            tracer: Tracer::disabled(),
             cfg,
         }
     }
@@ -271,6 +362,37 @@ impl Pe {
     /// `id_starved`, `local_reads`, `moms_reads`, `jobs`, `busy_cycles`.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Exhaustive per-cycle attribution accumulated since construction.
+    pub fn cycle_breakdown(&self) -> PeCycleBreakdown {
+        self.breakdown
+    }
+
+    /// Installs an event tracer (observing only — never alters timing).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records an event on this PE's trace track; used by the system for
+    /// job-boundary events that happen outside [`tick`](Self::tick).
+    pub fn trace_event(&mut self, now: Cycle, kind: EventKind, arg: u64) {
+        self.tracer.event(now, kind, arg);
+    }
+
+    /// Drains this PE's recorded event stream in time order.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// The last `n` recorded events without draining the ring.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.tracer.tail(n)
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     /// One-line phase and queue-occupancy summary for watchdog
@@ -406,7 +528,7 @@ impl Pe {
     }
 
     /// Issues phase-appropriate DMA bursts.
-    fn issue_dma(&mut self) {
+    fn issue_dma(&mut self, now: Cycle) {
         let Some(job) = self.job.clone() else { return };
         match self.phase {
             Phase::Init => {
@@ -531,6 +653,7 @@ impl Pe {
                 } else if self.outstanding.is_empty() {
                     // All write bursts acknowledged: job done.
                     let job = self.job.take().expect("job in flight");
+                    self.tracer.event(now, EventKind::PeJobDone, job.d as u64);
                     self.result = Some(JobResult {
                         d: job.d,
                         updated: self.updated,
@@ -549,7 +672,17 @@ impl Pe {
         if !matches!(self.phase, Phase::Idle) {
             self.stats.inc("busy_cycles");
         }
-        self.issue_dma();
+        // Attribute this cycle to the phase it started in; stream cycles
+        // are sub-classified inside `tick_stream`.
+        match self.phase {
+            Phase::Idle => self.breakdown.idle += 1,
+            Phase::Init => self.breakdown.init += 1,
+            Phase::FetchPtrs => self.breakdown.fetch_ptrs += 1,
+            Phase::Apply => self.breakdown.apply += 1,
+            Phase::Writeback => self.breakdown.writeback += 1,
+            Phase::Stream => {}
+        }
+        self.issue_dma(now);
 
         match self.phase {
             Phase::Init => self.tick_init(img),
@@ -587,6 +720,12 @@ impl Pe {
     ) {
         let job = self.job.clone().expect("job in flight");
         let latency = job.algo.gather_latency();
+        // Cycle-attribution observations (read at the bottom; exactly one
+        // breakdown class is charged per stream cycle).
+        let mut progressed = false;
+        let mut raw_blocked = false;
+        let mut backpressured = false;
+        let mut starved = false;
 
         // 1. Retire one gather per cycle.
         if let Some(&(ready, g)) = self.pipe.front() {
@@ -595,6 +734,9 @@ impl Pe {
                 // Release the RAW hazard slot taken at issue.
                 self.inflight_dst[g.dst_off as usize] -= 1;
                 self.apply_gather_direct(&job, g);
+                self.tracer
+                    .event(now, EventKind::PeRetire, g.dst_off as u64);
+                progressed = true;
             }
         }
 
@@ -615,6 +757,9 @@ impl Pe {
         } else {
             if !self.moms_gather_q.is_empty() || !self.local_q.is_empty() {
                 self.stats.inc("raw_stalls");
+                raw_blocked = true;
+                let waiting = (self.moms_gather_q.len() + self.local_q.len()) as u64;
+                self.tracer.event(now, EventKind::PeStallRaw, waiting);
             }
             None
         };
@@ -624,6 +769,8 @@ impl Pe {
             } else {
                 self.local_q.pop_front().expect("checked nonempty")
             };
+            self.tracer.event(now, EventKind::PeIssue, g.dst_off as u64);
+            progressed = true;
             if latency == 0 {
                 self.apply_gather_direct(&job, g);
             } else {
@@ -634,6 +781,7 @@ impl Pe {
 
         // 3. Accept one MOMS response.
         if let Some(resp) = moms.pop_response(pe_idx) {
+            progressed = true;
             let src_val = img.read_u32(resp.line * 64 + resp.word as u64 * 4);
             let (dst_off, w) = if job.weighted {
                 let (d, w) = self.state_mem[resp.id as usize];
@@ -667,6 +815,7 @@ impl Pe {
                     self.edge_q.pop_front();
                     self.edge_q_words -= wpe;
                     self.stats.inc("local_reads");
+                    progressed = true;
                 }
             } else {
                 let id = if job.weighted {
@@ -674,6 +823,9 @@ impl Pe {
                         Some(&id) => Some(id),
                         None => {
                             self.stats.inc("id_starved");
+                            starved = true;
+                            self.tracer
+                                .event(now, EventKind::PeStallIdStarved, e.src as u64);
                             None
                         }
                     }
@@ -696,11 +848,34 @@ impl Pe {
                         self.edge_q.pop_front();
                         self.edge_q_words -= wpe;
                         self.stats.inc("moms_reads");
+                        progressed = true;
                     } else {
                         self.stats.inc("moms_backpressure");
+                        backpressured = true;
+                        self.tracer
+                            .event(now, EventKind::PeStallBackpressure, req.line);
                     }
                 }
             }
+        }
+
+        // Charge exactly one attribution class for this stream cycle.
+        // Priority: any forward progress wins; otherwise the most specific
+        // observed blocker; otherwise whatever the PE is waiting on.
+        if progressed {
+            self.breakdown.stream_productive += 1;
+        } else if raw_blocked {
+            self.breakdown.stream_raw_hazard += 1;
+        } else if backpressured {
+            self.breakdown.stream_backpressure += 1;
+        } else if starved {
+            self.breakdown.stream_id_starved += 1;
+        } else if self.inflight_moms > 0 {
+            self.breakdown.stream_moms_wait += 1;
+        } else if self.edge_bursts_outstanding > 0 || !self.edge_q.is_empty() {
+            self.breakdown.stream_dram_wait += 1;
+        } else {
+            self.breakdown.stream_drain += 1;
         }
 
         // 5. Transition out when everything drained.

@@ -9,7 +9,7 @@
 use dram::DramConfig;
 use graph::Partitioner;
 use moms::MomsSystemConfig;
-use simkit::{Cycle, FaultConfig};
+use simkit::{Cycle, FaultConfig, TraceConfig};
 
 use crate::config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 
@@ -71,6 +71,8 @@ pub struct RunConfig {
     pub fault: FaultConfig,
     /// No-progress watchdog threshold; `None` disables the watchdog.
     pub watchdog_cycles: Option<Cycle>,
+    /// Event/counter tracing configuration (default: off).
+    pub trace: TraceConfig,
 }
 
 impl RunConfig {
@@ -88,6 +90,7 @@ impl RunConfig {
             moms_trace_cap: 0,
             fault: FaultConfig::none(),
             watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -136,6 +139,7 @@ impl RunConfig {
             moms_trace_cap: self.moms_trace_cap,
             fault: self.fault,
             watchdog_cycles: self.watchdog_cycles,
+            trace: self.trace,
         };
         cfg.validate();
         (cfg, Partitioner::new(ns, nd))

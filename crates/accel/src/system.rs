@@ -4,6 +4,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
+use simkit::stats::TimeBuckets;
+use simkit::trace::{
+    merge_events, CounterSeries, EventKind, TraceEvent, TraceReport, Tracer, Track,
+};
 use simkit::watchdog::{DiagnosticSection, DiagnosticSnapshot};
 use simkit::{Cycle, FaultInjector, Stats, Watchdog};
 
@@ -14,7 +18,48 @@ use graph::{CooGraph, GraphImage, Partitioner};
 use moms::{MomsSnapshot, MomsSystem};
 
 use crate::config::{ExecutionMode, SystemConfig};
-use crate::pe::{Job, Pe};
+use crate::pe::{Job, Pe, PeCycleBreakdown};
+
+/// Events shown in the watchdog snapshot's `trace-tail` section.
+const TRACE_TAIL_EVENTS: usize = 32;
+
+/// Periodic occupancy sampling into time-bucketed series (active at any
+/// trace level above `Off`). Sampling only *reads* component state via
+/// non-perturbing accessors, so it cannot change simulation outcomes.
+#[derive(Debug)]
+struct OccupancySampler {
+    period: Cycle,
+    mshr: TimeBuckets,
+    subentries: TimeBuckets,
+    dram_pending: TimeBuckets,
+    jobs_queued: TimeBuckets,
+}
+
+impl OccupancySampler {
+    fn new(period: Cycle) -> Self {
+        OccupancySampler {
+            period,
+            mshr: TimeBuckets::new(period),
+            subentries: TimeBuckets::new(period),
+            dram_pending: TimeBuckets::new(period),
+            jobs_queued: TimeBuckets::new(period),
+        }
+    }
+
+    fn series(&self) -> Vec<CounterSeries> {
+        let mk = |name: &str, b: &TimeBuckets| CounterSeries {
+            name: name.to_owned(),
+            bucket_cycles: b.bucket_cycles(),
+            points: b.points(),
+        };
+        vec![
+            mk("mshr_occupancy", &self.mshr),
+            mk("subentry_slots_used", &self.subentries),
+            mk("dram_pending", &self.dram_pending),
+            mk("sched_jobs_queued", &self.jobs_queued),
+        ]
+    }
+}
 
 /// Dynamic job scheduler: exposes one job per destination interval and
 /// lets idle PEs pull them (§IV-E), tracking `active_srcs` across
@@ -100,6 +145,10 @@ pub struct MetricsSnapshot {
     pub dram: Vec<DramChannelSnapshot>,
     /// Stall breakdown summed over PEs.
     pub pe: PeStallBreakdown,
+    /// Exhaustive per-cycle attribution summed over PEs; every PE-cycle
+    /// of the run lands in exactly one class (`repro explain` renders
+    /// this).
+    pub pe_cycles: PeCycleBreakdown,
 }
 
 impl MetricsSnapshot {
@@ -142,6 +191,9 @@ pub struct RunResult {
     pub moms_trace: Vec<(u16, u64)>,
     /// Structured MOMS/DRAM/PE metrics gathered at the end of the run.
     pub metrics: MetricsSnapshot,
+    /// Merged event stream and occupancy series (empty unless
+    /// [`crate::SystemConfig::trace`] enabled a level above `Off`).
+    pub trace: TraceReport,
 }
 
 impl RunResult {
@@ -217,6 +269,10 @@ pub struct System {
     fault: FaultInjector<DramResponse>,
     /// No-progress watchdog (`None` when disabled by configuration).
     watchdog: Option<Watchdog>,
+    /// Scheduler-track event tracer (disabled unless events are on).
+    tracer: Tracer,
+    /// Occupancy sampler (`None` when tracing is off).
+    sampler: Option<OccupancySampler>,
     now: Cycle,
 }
 
@@ -248,14 +304,24 @@ impl System {
             synchronous: algo.synchronous() || force_sync,
         };
         let (gi, img) = LayoutBuilder::build(&parts, &init);
-        let mem = MemorySystem::new(cfg.dram.clone(), cfg.num_channels());
+        let mut mem = MemorySystem::new(cfg.dram.clone(), cfg.num_channels());
         let mut moms = MomsSystem::new(cfg.moms.clone());
         if cfg.moms_trace_cap > 0 {
             moms.enable_trace(cfg.moms_trace_cap);
         }
-        let pes = (0..cfg.num_pes())
+        let mut pes: Vec<Pe> = (0..cfg.num_pes())
             .map(|_| Pe::new(cfg.pe.clone()))
             .collect();
+        let mut sampler = None;
+        if cfg.trace.is_active() {
+            moms.enable_event_tracing(&cfg.trace);
+            mem.enable_event_tracing(&cfg.trace);
+            for (i, pe) in pes.iter_mut().enumerate() {
+                pe.set_tracer(Tracer::for_track(Track::pe(i), &cfg.trace));
+            }
+            sampler = Some(OccupancySampler::new(cfg.trace.sample_period.max(1)));
+        }
+        let tracer = Tracer::for_track(Track::scheduler(), &cfg.trace);
         let sched = Scheduler::new(gi.qs());
         System {
             seg_q: vec![VecDeque::new(); cfg.num_pes()],
@@ -271,6 +337,8 @@ impl System {
             pes,
             sched,
             graph: g.clone(),
+            tracer,
+            sampler,
             now: 0,
             cfg,
         }
@@ -384,7 +452,11 @@ impl System {
                 break;
             }
             self.sched.begin_iteration(jobs.iter().copied());
+            self.tracer
+                .event(self.now, EventKind::IterStart, iterations as u64);
             edges_total += self.run_iteration(deadline)?;
+            self.tracer
+                .event(self.now, EventKind::IterEnd, iterations as u64);
             iterations += 1;
 
             let cont = self.sched.any_update || self.algo.always_active();
@@ -426,6 +498,10 @@ impl System {
         stats.merge(&self.moms.stats());
         stats.merge(&self.mem.stats());
         let moms_snap = self.moms.snapshot();
+        let mut pe_cycles = PeCycleBreakdown::default();
+        for pe in &self.pes {
+            pe_cycles.accumulate(&pe.cycle_breakdown());
+        }
         let metrics = MetricsSnapshot {
             moms: moms_snap,
             dram: self.mem.snapshot(),
@@ -435,6 +511,7 @@ impl System {
                 id_starved: stats.get("id_starved"),
                 moms_backpressure: stats.get("moms_backpressure"),
             },
+            pe_cycles,
         };
         Ok(RunResult {
             cycles: self.now,
@@ -445,7 +522,48 @@ impl System {
             moms_trace: self.moms.take_trace(),
             stats,
             metrics,
+            trace: self.collect_trace(),
         })
+    }
+
+    /// Drains every component's event ring and the occupancy sampler into
+    /// one report. Cheap no-op (empty report) when tracing is off.
+    fn collect_trace(&mut self) -> TraceReport {
+        if !self.cfg.trace.is_active() {
+            return TraceReport::default();
+        }
+        // Drops must be summed before draining: `take` resets the rings.
+        let dropped = self.tracer.dropped()
+            + self.pes.iter().map(|p| p.trace_dropped()).sum::<u64>()
+            + self.moms.trace_dropped()
+            + self.mem.trace_dropped();
+        let mut streams = vec![self.tracer.take()];
+        for pe in &mut self.pes {
+            streams.push(pe.take_trace_events());
+        }
+        streams.extend(self.moms.take_trace_events());
+        streams.extend(self.mem.take_trace_events());
+        TraceReport {
+            events: merge_events(streams),
+            counters: self
+                .sampler
+                .as_ref()
+                .map(OccupancySampler::series)
+                .unwrap_or_default(),
+            dropped,
+            cycles: self.now,
+        }
+    }
+
+    /// The last `n` events across every component, merged in time order.
+    fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        let mut streams = vec![self.tracer.tail(n)];
+        streams.extend(self.pes.iter().map(|p| p.trace_tail(n)));
+        streams.push(self.moms.trace_tail(n));
+        streams.push(self.mem.trace_tail(n));
+        let merged = merge_events(streams);
+        let skip = merged.len().saturating_sub(n);
+        merged.into_iter().skip(skip).collect()
     }
 
     /// Runs one iteration to completion; returns edges processed, or an
@@ -484,6 +602,12 @@ impl System {
                     if let Some(d) = self.sched.pull() {
                         let job = self.make_job(d);
                         self.pes[i].start_job(job);
+                        self.tracer.event(
+                            now,
+                            EventKind::SchedDispatch,
+                            (i as u64) << 32 | d as u64,
+                        );
+                        self.pes[i].trace_event(now, EventKind::PeJobStart, d as u64);
                     }
                 }
             }
@@ -538,13 +662,34 @@ impl System {
             self.moms.tick(now, &mut self.mem);
             self.mem.tick(now);
 
+            // Occupancy sampling (reads only; active at counters level+).
+            if let Some(s) = &mut self.sampler {
+                if now.is_multiple_of(s.period) {
+                    s.mshr.record(now, self.moms.mshr_occupancy() as u64);
+                    s.subentries.record(now, self.moms.subentry_used() as u64);
+                    s.dram_pending.record(now, self.mem.pending() as u64);
+                    s.jobs_queued.record(
+                        now,
+                        (self.sched.queue.len() + self.sched.jobs_outstanding) as u64,
+                    );
+                }
+            }
+
             // 5. Route DRAM completions, optionally through the fault
             //    injector (delay/reorder/drop on the completion path).
             let fault_on = self.fault.is_active();
             for ch in 0..self.mem.num_channels() {
                 while let Some(resp) = self.mem.pop_response(now, ch) {
                     if fault_on {
+                        let resp_id = resp.id;
+                        let dropped_before = self.fault.dropped();
                         self.fault.offer(now, resp);
+                        if self.fault.dropped() > dropped_before {
+                            // The injector swallowed this completion; name
+                            // it in the trace so a later stall snapshot
+                            // points straight at the black-holed request.
+                            self.tracer.event(now, EventKind::FaultDrop, resp_id);
+                        }
                     } else {
                         self.route_response(resp);
                         progressed = true;
@@ -641,6 +786,16 @@ impl System {
         sections.push(self.mem.diagnostic());
         if self.fault.is_active() {
             sections.push(self.fault.diagnostic());
+        }
+        // When event tracing is on, embed the tail of the merged event
+        // stream: the last thing each component did before going quiet.
+        let tail = self.trace_tail(TRACE_TAIL_EVENTS);
+        if !tail.is_empty() {
+            let mut s = DiagnosticSection::new("trace-tail");
+            for (i, ev) in tail.iter().enumerate() {
+                s.push(format!("[{i:02}]"), ev);
+            }
+            sections.push(s);
         }
 
         DiagnosticSnapshot {

@@ -7,9 +7,12 @@
 //!                    [--out PATH] [--format json|csv]
 //!                    [--fault-profile P] [--fault-seed N]
 //!                    [--watchdog-cycles N]
+//!                    [--trace PATH] [--trace-level events|counters]
+//!                    [--trace-window START:END]
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
-//!              fig16 fig17 ablate sweep syncasync paperscale related all
+//!              fig16 fig17 ablate sweep syncasync paperscale related
+//!              explain all
 //! --full           all 12 benchmarks and all 7 architectures (slow)
 //! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
 //! --jobs N         worker threads for engine-driven experiments
@@ -23,6 +26,11 @@
 //! --fault-seed N   seed for the deterministic fault schedule (default 0)
 //! --watchdog-cycles N  no-progress watchdog threshold in cycles
 //!                  (0 disables; default 2000000)
+//! --trace PATH     export each simulated point's trace: Perfetto/Chrome
+//!                  JSON (load at ui.perfetto.dev), or CSV when PATH ends
+//!                  in .csv; with several points, PATH-<point> files
+//! --trace-level L  events (default with --trace) or counters
+//! --trace-window START:END  record events only in [START, END) cycles
 //! ```
 
 use std::time::Duration;
@@ -30,6 +38,7 @@ use std::time::Duration;
 use bench::engine::{self, EngineConfig};
 use bench::experiments::{self, Scope};
 use simkit::record::Format;
+use simkit::trace::{to_chrome_json, to_csv, TraceLevel, TraceReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +49,7 @@ fn main() {
         ..EngineConfig::default()
     };
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut format = Format::Json;
     let mut i = 0;
     while i < args.len() {
@@ -107,6 +117,29 @@ fn main() {
                         .unwrap_or_else(|| usage("--watchdog-cycles needs a number")),
                 );
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--trace needs a path")),
+                );
+            }
+            "--trace-level" => {
+                i += 1;
+                engine_cfg.trace.level = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--trace-level is events or counters"));
+            }
+            "--trace-window" => {
+                i += 1;
+                engine_cfg.trace.window = Some(
+                    args.get(i)
+                        .and_then(|s| parse_window(s))
+                        .unwrap_or_else(|| usage("--trace-window is START:END in cycles")),
+                );
+            }
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_owned()),
             s => usage(&format!("unknown argument {s}")),
         }
@@ -114,9 +147,18 @@ fn main() {
     }
     let which = which.unwrap_or_else(|| usage("missing experiment name"));
 
+    if trace_path.is_some() && engine_cfg.trace.level == TraceLevel::Off {
+        engine_cfg.trace.level = TraceLevel::Events;
+    }
+    if trace_path.is_none() && engine_cfg.trace.level != TraceLevel::Off {
+        usage("--trace-level/--trace-window require --trace PATH");
+    }
     engine::set_global_config(engine_cfg);
     if out_path.is_some() {
         engine::enable_recording();
+    }
+    if trace_path.is_some() {
+        engine::enable_trace_capture();
     }
 
     let run_one = |name: &str| match name {
@@ -135,6 +177,7 @@ fn main() {
         "syncasync" => print!("{}", experiments::syncasync::run(scope)),
         "paperscale" => print!("{}", experiments::paperscale::run()),
         "related" => print!("{}", experiments::related_work::run(scope)),
+        "explain" => print!("{}", bench::explain::run(scope)),
         other => usage(&format!("unknown experiment {other}")),
     };
 
@@ -171,16 +214,79 @@ fn main() {
         }
         eprintln!("wrote {} result rows to {path}", results.len());
     }
+
+    if let Some(path) = trace_path {
+        let traces = engine::take_traces().unwrap_or_default();
+        if traces.is_empty() {
+            eprintln!("warning: no traces captured (did every point fail?)");
+        }
+        let many = traces.len() > 1;
+        for (label, report) in &traces {
+            let file = if many {
+                suffixed_path(&path, label)
+            } else {
+                path.clone()
+            };
+            write_trace(&file, report);
+        }
+    }
+}
+
+/// Renders one trace report in the format implied by the path extension
+/// (`.csv` for the flat timeline, Chrome/Perfetto JSON otherwise).
+fn write_trace(path: &str, report: &TraceReport) {
+    let rendered = if path.ends_with(".csv") {
+        to_csv(report)
+    } else {
+        to_chrome_json(report)
+    };
+    if let Err(e) = std::fs::write(path, rendered) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote trace ({} events, {} counter series) to {path}",
+        report.events.len(),
+        report.counters.len()
+    );
+}
+
+/// Inserts a sanitized point label before the path's extension:
+/// `out.json` + `WT-SCC-2lvl 16/16` → `out-WT-SCC-2lvl_16_16.json`.
+fn suffixed_path(path: &str, label: &str) -> String {
+    let clean: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{clean}.{ext}"),
+        _ => format!("{path}-{clean}"),
+    }
+}
+
+/// Parses `START:END` cycle bounds for `--trace-window`.
+fn parse_window(s: &str) -> Option<(u64, u64)> {
+    let (a, b) = s.split_once(':')?;
+    let start: u64 = a.parse().ok()?;
+    let end: u64 = b.parse().ok()?;
+    (start < end).then_some((start, end))
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|all> \
+        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|all> \
          [--full] [--shrink N] [--jobs N] [--timeout-secs S] \
          [--out PATH] [--format json|csv] \
          [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \
-         [--fault-seed N] [--watchdog-cycles N]"
+         [--fault-seed N] [--watchdog-cycles N] \
+         [--trace PATH] [--trace-level events|counters] [--trace-window START:END]"
     );
     std::process::exit(2);
 }

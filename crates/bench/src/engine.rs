@@ -258,6 +258,9 @@ pub struct EngineConfig {
     /// simulator default, `Some(0)` disables the watchdog, any other
     /// value sets the threshold in cycles.
     pub watchdog_cycles: Option<u64>,
+    /// Tracing configuration applied to every simulated point (default:
+    /// off — every trace hook stays a dead branch).
+    pub trace: simkit::TraceConfig,
 }
 
 impl EngineConfig {
@@ -284,6 +287,7 @@ impl EngineConfig {
 struct GlobalState {
     config: EngineConfig,
     recorder: Option<Vec<PointResult>>,
+    traces: Option<Vec<(String, simkit::TraceReport)>>,
 }
 
 static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
@@ -296,8 +300,15 @@ static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
             seed: 0,
         },
         watchdog_cycles: None,
+        trace: simkit::TraceConfig {
+            level: simkit::trace::TraceLevel::Off,
+            capacity: 1 << 16,
+            window: None,
+            sample_period: 1024,
+        },
     },
     recorder: None,
+    traces: None,
 });
 
 /// Installs the process-wide engine configuration.
@@ -335,6 +346,36 @@ pub fn take_recorded() -> Option<Vec<PointResult>> {
     let mut results = GLOBAL.lock().unwrap().recorder.take()?;
     results.sort_by_cached_key(|r| r.sort_key());
     Some(results)
+}
+
+/// Starts capturing per-point trace reports (the `repro --trace PATH`
+/// path). Only points simulated with an active trace level produce one.
+pub fn enable_trace_capture() {
+    let mut g = GLOBAL.lock().unwrap();
+    if g.traces.is_none() {
+        g.traces = Some(Vec::new());
+    }
+}
+
+/// Appends one labelled trace report to the global capture, if enabled.
+/// Called by the runner for every traced point.
+pub fn maybe_record_trace(
+    label: impl FnOnce() -> String,
+    report: impl FnOnce() -> simkit::TraceReport,
+) {
+    let mut g = GLOBAL.lock().unwrap();
+    if let Some(traces) = g.traces.as_mut() {
+        traces.push((label(), report()));
+    }
+}
+
+/// Drains the captured traces, sorted by label so the output is
+/// independent of completion order. Returns `None` when trace capture was
+/// never enabled.
+pub fn take_traces() -> Option<Vec<(String, simkit::TraceReport)>> {
+    let mut traces = GLOBAL.lock().unwrap().traces.take()?;
+    traces.sort_by(|a, b| a.0.cmp(&b.0));
+    Some(traces)
 }
 
 type GraphKey = (BenchmarkId, Preprocess, u64, bool);

@@ -1,0 +1,101 @@
+//! `repro explain`: per-run stall attribution.
+//!
+//! Runs the quick-scope benchmark × algorithm matrix and renders, for each
+//! run, where every PE cycle went: the exhaustive
+//! [`accel::PeCycleBreakdown`] classes (exactly one per PE-cycle, so the
+//! table always accounts for 100% of them) plus the MOMS-side pressure
+//! split (MSHR-full vs subentry-full vs memory-queue-full refusals) that
+//! explains *why* the PEs saw backpressure.
+//!
+//! Points flow through the standard runner funnel, so `--fault-profile`,
+//! `--watchdog-cycles`, and `--trace` all apply: `repro explain --trace
+//! out.json` both prints the attribution and exports the event timeline.
+
+use std::fmt::Write as _;
+
+use accel::{MetricsSnapshot, PeCycleBreakdown};
+
+use crate::arch::ArchPoint;
+use crate::experiments::Scope;
+use crate::runner::{prepare_graph, run_graph_outcome, RunFailure, RunSpec};
+
+/// Renders the attribution table for one finished run.
+fn render_one(out: &mut String, label: &str, cycles: u64, m: &MetricsSnapshot) {
+    let b: PeCycleBreakdown = m.pe_cycles;
+    let total = b.total().max(1);
+    let _ = writeln!(
+        out,
+        "-- {label}: {cycles} cycles, {} PE-cycles attributed --",
+        b.total()
+    );
+    let _ = writeln!(out, "  {:<26} {:>12} {:>7}", "class", "pe-cycles", "%");
+    for (name, v) in b.rows() {
+        if v == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<26} {:>12} {:>6.1}%",
+            name,
+            v,
+            100.0 * v as f64 / total as f64
+        );
+    }
+    let stalls = &m.moms.banks;
+    let refusals = stalls.stall_mshr_full + stalls.stall_subentry_full + stalls.stall_mem_full;
+    if refusals > 0 {
+        let _ = writeln!(
+            out,
+            "  moms refusals: mshr-full={} subentry-full={} mem-queue-full={}",
+            stalls.stall_mshr_full, stalls.stall_subentry_full, stalls.stall_mem_full
+        );
+    }
+    let accounted = 100.0 * b.total() as f64 / b.total().max(1) as f64;
+    let _ = writeln!(out, "  accounted: {accounted:.1}% of PE cycles");
+}
+
+/// Runs the quick matrix and renders per-run stall attribution.
+pub fn run(scope: Scope) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== explain: where did the cycles go? ==");
+    let arch = ArchPoint::two_level_16_16();
+    for bench in scope.benches() {
+        for (algo, max_iterations) in scope.algos() {
+            let mut spec = RunSpec::new(arch);
+            spec.shrink = scope.shrink;
+            spec.max_iterations = max_iterations;
+            let g = prepare_graph(bench, spec.pre, spec.shrink, algo.is_weighted());
+            let label = format!("{}/{}/{}", bench.tag(), algo.name(), spec.arch.name);
+            match run_graph_outcome(&g, bench.tag(), algo, &spec, None) {
+                Ok((row, metrics)) => render_one(&mut out, &label, row.cycles, &metrics),
+                Err(RunFailure::TimedOut) => {
+                    let _ = writeln!(out, "-- {label}: timed out --");
+                }
+                Err(RunFailure::Failed(msg)) => {
+                    let _ = writeln!(out, "-- {label}: failed: {msg} --");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_accounts_for_every_pe_cycle() {
+        let scope = Scope {
+            full: false,
+            shrink: 64,
+        };
+        let report = run(scope);
+        assert!(report.contains("== explain:"), "{report}");
+        assert!(
+            report.contains("accounted: 100.0% of PE cycles"),
+            "attribution must be exhaustive:\n{report}"
+        );
+        assert!(report.contains("stream/productive"), "{report}");
+    }
+}

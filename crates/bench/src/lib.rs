@@ -9,6 +9,7 @@
 pub mod arch;
 pub mod engine;
 pub mod experiments;
+pub mod explain;
 pub mod microbench;
 pub mod runner;
 

@@ -147,13 +147,21 @@ pub fn run_graph_outcome(
         if let Some(wc) = eng.watchdog_cycles {
             rc.watchdog_cycles = (wc > 0).then_some(wc);
         }
+        rc.trace = eng.trace;
         let (cfg, partitioner) = rc.build();
         let mut sys = System::new(g, partitioner, algo, cfg);
         sys.run_to_outcome(deadline)
     }));
     let sim_seconds = t.elapsed().as_secs_f64();
     let out = match outcome {
-        Ok(Ok(result)) => {
+        Ok(Ok(mut result)) => {
+            let trace = std::mem::take(&mut result.trace);
+            if !trace.is_empty() {
+                crate::engine::maybe_record_trace(
+                    || format!("{bench_tag}-{}-{}", algo.name(), spec.arch.name),
+                    || trace,
+                );
+            }
             let freq = spec.arch.frequency_mhz(spec.channels, &algo);
             let row = Row {
                 bench: bench_tag.to_owned(),

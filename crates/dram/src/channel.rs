@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use simkit::trace::{EventKind, TraceEvent, Tracer};
 use simkit::{Cycle, Fifo, Stats};
 
 use crate::config::DramConfig;
@@ -156,6 +157,7 @@ pub struct DramChannel {
     /// nondecreasing because transfers serialise on the data bus.
     completions: VecDeque<(Cycle, DramResponse)>,
     stats: Stats,
+    tracer: Tracer,
     /// Transactions ever accepted (conservation ledger).
     ledger_pushed: u64,
     /// Responses ever handed out (conservation ledger).
@@ -179,6 +181,7 @@ impl DramChannel {
             completions: VecDeque::new(),
             cfg,
             stats: Stats::new(),
+            tracer: Tracer::disabled(),
             ledger_pushed: 0,
             ledger_popped: 0,
         }
@@ -208,10 +211,40 @@ impl DramChannel {
         match self.completions.front() {
             Some((ready, _)) if *ready <= now => {
                 self.ledger_popped += 1;
-                self.completions.pop_front().map(|(_, r)| r)
+                let resp = self.completions.pop_front().map(|(_, r)| r);
+                if let Some(r) = &resp {
+                    self.tracer.event(now, EventKind::DramComplete, r.id);
+                }
+                resp
             }
             _ => None,
         }
+    }
+
+    /// Installs an event tracer (disabled by default); it only observes.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Drains this channel's recorded trace events, oldest first.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// The last `n` recorded trace events, for stall diagnostics.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.tracer.tail(n)
+    }
+
+    /// Events lost to ring wraparound in this channel.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Transactions currently queued or awaiting completion, for
+    /// occupancy sampling.
+    pub fn pending(&self) -> usize {
+        self.requests.len() + self.completions.len()
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
@@ -325,8 +358,13 @@ impl DramChannel {
         let (bank, row) = self.bank_and_row(req.addr);
         let row_hit = self.banks[bank].open_row == Some(row);
         let bank_latency = if row_hit {
+            self.tracer.event(now, EventKind::DramRowHit, row);
             self.cfg.t_cas
         } else {
+            if let Some(old) = self.banks[bank].open_row {
+                self.tracer.event(now, EventKind::DramPrecharge, old);
+            }
+            self.tracer.event(now, EventKind::DramActivate, row);
             self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
         };
         let bank_ready = self.banks[bank].ready_at.max(now);

@@ -1,5 +1,6 @@
 //! Multi-channel memory system with address interleaving.
 
+use simkit::trace::{TraceConfig, TraceEvent, Tracer, Track};
 use simkit::{Cycle, Stats};
 
 use crate::channel::{DramChannel, DramChannelSnapshot, DramRequest, DramResponse};
@@ -138,6 +139,41 @@ impl MemorySystem {
     /// Point-in-time view of every channel's counters, in channel order.
     pub fn snapshot(&self) -> Vec<DramChannelSnapshot> {
         self.channels.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Installs event tracers on every channel (tracks `dram.ch[i]`).
+    pub fn enable_event_tracing(&mut self, cfg: &TraceConfig) {
+        for (i, c) in self.channels.iter_mut().enumerate() {
+            c.set_tracer(Tracer::for_track(Track::dram(i), cfg));
+        }
+    }
+
+    /// Drains every channel's event stream, one `Vec` per channel in
+    /// channel order.
+    pub fn take_trace_events(&mut self) -> Vec<Vec<TraceEvent>> {
+        self.channels
+            .iter_mut()
+            .map(|c| c.take_trace_events())
+            .collect()
+    }
+
+    /// The last `n` events across all channels, merged in time order.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        let merged =
+            simkit::trace::merge_events(self.channels.iter().map(|c| c.trace_tail(n)).collect());
+        let skip = merged.len().saturating_sub(n);
+        merged.into_iter().skip(skip).collect()
+    }
+
+    /// Events lost to ring wraparound, summed over channels.
+    pub fn trace_dropped(&self) -> u64 {
+        self.channels.iter().map(|c| c.trace_dropped()).sum()
+    }
+
+    /// Transactions queued or awaiting completion across all channels,
+    /// for occupancy sampling.
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(|c| c.pending()).sum()
     }
 
     /// Per-channel queue and bus state as a watchdog diagnostic section.

@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use simkit::trace::{EventKind, TraceEvent, Tracer};
 use simkit::{Cycle, Fifo, Stats};
 
 use crate::cache::CacheArray;
@@ -66,6 +67,12 @@ pub struct MomsBankSnapshot {
     pub cache_hits: u64,
     /// Cache probe misses (0 when cache-less).
     pub cache_misses: u64,
+    /// Requests refused because the cuckoo MSHR table was full.
+    pub stall_mshr_full: u64,
+    /// Requests refused because the subentry buffer was full.
+    pub stall_subentry_full: u64,
+    /// Requests refused because the memory request queue was full.
+    pub stall_mem_full: u64,
 }
 
 impl MomsBankSnapshot {
@@ -88,6 +95,9 @@ impl MomsBankSnapshot {
         self.peak_pending_misses += other.peak_pending_misses;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.stall_mshr_full += other.stall_mshr_full;
+        self.stall_subentry_full += other.stall_subentry_full;
+        self.stall_mem_full += other.stall_mem_full;
     }
 }
 
@@ -125,6 +135,7 @@ pub struct MomsBank {
     assembly: VecDeque<AsmWindow>,
     busy_until: Cycle,
     stats: Stats,
+    tracer: Tracer,
     /// Requests ever accepted into `in_q` (conservation ledger).
     ledger_accepted: u64,
     /// Responses ever pushed into `out_q` (conservation ledger).
@@ -158,6 +169,7 @@ impl MomsBank {
             assembly: VecDeque::new(),
             busy_until: 0,
             stats: Stats::new(),
+            tracer: Tracer::disabled(),
             ledger_accepted: 0,
             ledger_responded: 0,
             cfg,
@@ -244,6 +256,9 @@ impl MomsBank {
             peak_pending_misses: self.subs.peak_entries(),
             cache_hits,
             cache_misses,
+            stall_mshr_full: self.stats.get("stall_mshr_insert"),
+            stall_subentry_full: self.stats.get("stall_subentry_full"),
+            stall_mem_full: self.stats.get("stall_mem_full"),
         }
     }
 
@@ -294,6 +309,32 @@ impl MomsBank {
     /// Configuration of this bank.
     pub fn config(&self) -> &MomsConfig {
         &self.cfg
+    }
+
+    /// Installs an event tracer (disabled by default). The tracer only
+    /// observes; the differential suite verifies it cannot perturb timing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Live subentries right now (pending misses), for occupancy sampling.
+    pub fn subentry_used(&self) -> usize {
+        self.subs.used_entries()
+    }
+
+    /// Drains this bank's recorded trace events, oldest first.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
+    }
+
+    /// The last `n` recorded trace events, for stall diagnostics.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.tracer.tail(n)
+    }
+
+    /// Events lost to ring wraparound in this bank.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     /// One-line occupancy summary for watchdog diagnostics.
@@ -438,6 +479,7 @@ impl MomsBank {
 
         // 1. Replay in progress: one subentry per cycle into the output.
         if let Some(rep) = self.replay.front_mut() {
+            let replay_line = rep.line;
             if self.out_q.can_push() {
                 let e = rep.entries.pop_front().expect("replay nonempty");
                 let line = rep.line;
@@ -450,11 +492,14 @@ impl MomsBank {
                     .unwrap_or_else(|_| unreachable!("checked can_push"));
                 self.stats.inc("responses");
                 self.ledger_responded += 1;
+                self.tracer.event(now, EventKind::MomsReplay, e.id as u64);
                 if rep.entries.is_empty() {
                     self.replay.pop_front();
                 }
             } else {
                 self.stats.inc("stall_out_full");
+                self.tracer
+                    .event(now, EventKind::MomsStallReplayFull, replay_line);
             }
             return;
         }
@@ -467,7 +512,9 @@ impl MomsBank {
             let mut any = false;
             for line in base..base + count as u64 {
                 if let Some(c) = &mut self.cache {
-                    c.fill(line, now);
+                    if let Some(evicted) = c.fill(line, now) {
+                        self.tracer.event(now, EventKind::MomsEvict, evicted);
+                    }
                 }
                 if let Some(entry) = self.mshr.remove(line) {
                     let entries: VecDeque<Subentry> = self.subs.take_chain(entry.head_row).into();
@@ -504,8 +551,11 @@ impl MomsBank {
                     self.stats.inc("cache_hits");
                     self.stats.inc("responses");
                     self.ledger_responded += 1;
+                    self.tracer.event(now, EventKind::MomsHit, req.line);
                 } else {
                     self.stats.inc("stall_out_full");
+                    self.tracer
+                        .event(now, EventKind::MomsStallReplayFull, req.line);
                 }
                 return;
             }
@@ -526,14 +576,19 @@ impl MomsBank {
                     entry.pending += 1;
                     self.in_q.pop();
                     self.stats.inc("secondary_misses");
+                    self.tracer
+                        .event(now, EventKind::MomsSecondaryMiss, req.line);
                     if chained {
                         // Linking a fresh row costs one extra cycle.
                         self.busy_until = now + 2;
                         self.stats.inc("busy_chain_cycles");
+                        self.tracer.event(now, EventKind::SubentryChain, req.line);
                     }
                 }
                 Err(SubentryFull) => {
                     self.stats.inc("stall_subentry_full");
+                    self.tracer
+                        .event(now, EventKind::SubentryOverflow, req.line);
                 }
             }
             return;
@@ -548,14 +603,20 @@ impl MomsBank {
         };
         if !mem_path_free {
             self.stats.inc("stall_mem_full");
+            self.tracer
+                .event(now, EventKind::MomsStallMemFull, req.line);
             return;
         }
         if self.mshr.is_full() {
             self.stats.inc("stall_mshr_insert");
+            self.tracer
+                .event(now, EventKind::MomsStallMshrFull, req.line);
             return;
         }
         let Ok(row) = self.subs.alloc_row() else {
             self.stats.inc("stall_subentry_full");
+            self.tracer
+                .event(now, EventKind::SubentryOverflow, req.line);
             return;
         };
         match self.mshr.insert(MshrEntry {
@@ -595,9 +656,14 @@ impl MomsBank {
                     }
                 }
                 self.stats.inc("primary_misses");
+                self.tracer.event(now, EventKind::MomsPrimaryMiss, req.line);
+                self.tracer.event(now, EventKind::SubentryAlloc, req.line);
+                self.tracer
+                    .event(now, EventKind::CuckooInsert, kicks as u64);
                 if kicks > 0 {
                     self.busy_until = now + 1 + kicks as Cycle;
                     self.stats.add("busy_kick_cycles", kicks as u64);
+                    self.tracer.event(now, EventKind::CuckooKick, kicks as u64);
                 }
             }
             InsertOutcome::Failed => {
@@ -605,6 +671,8 @@ impl MomsBank {
                 self.subs.release_empty_row(row);
                 self.stats.inc("stall_mshr_insert");
                 self.busy_until = now + self.cfg.max_kicks.max(1) as Cycle;
+                self.tracer
+                    .event(now, EventKind::MomsStallMshrFull, req.line);
             }
         }
     }

@@ -118,7 +118,8 @@ impl CacheArray {
     }
 
     /// Installs `line`, evicting the LRU way of its set if needed.
-    pub fn fill(&mut self, line: u64, now: u64) {
+    /// Returns the evicted line, if a valid one was displaced.
+    pub fn fill(&mut self, line: u64, now: u64) -> Option<u64> {
         let set = self.set_of(line);
         let base = set * self.cfg.ways;
         // Already present (race between fill and probe): refresh.
@@ -127,17 +128,19 @@ impl CacheArray {
             .find(|w| w.valid && w.tag == line)
         {
             w.lru = now;
-            return;
+            return None;
         }
         let victim = self.ways[base..base + self.cfg.ways]
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
             .expect("nonzero ways");
+        let evicted = victim.valid.then_some(victim.tag);
         *victim = Way {
             tag: line,
             valid: true,
             lru: now,
         };
+        evicted
     }
 
     /// Hits recorded so far.
@@ -213,8 +216,8 @@ mod tests {
     #[test]
     fn direct_mapped_conflict_evicts() {
         let mut c = CacheArray::new(CacheConfig { lines: 4, ways: 1 });
-        c.fill(0, 0);
-        c.fill(4, 1); // same set (line % 4)
+        assert_eq!(c.fill(0, 0), None, "empty way: nothing displaced");
+        assert_eq!(c.fill(4, 1), Some(0), "same set (line % 4) evicts 0");
         assert!(!c.probe(0, 2), "line 0 must have been evicted");
         assert!(c.probe(4, 3));
     }

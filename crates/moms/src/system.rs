@@ -14,6 +14,7 @@
 //! hop in each direction; requests and responses between same-SLR endpoints
 //! pay only the base network latency.
 
+use simkit::trace::{TraceConfig, TraceEvent, Tracer, Track};
 use simkit::{Cycle, Fifo, Stats};
 
 use dram::{DramRequest, MemorySystem, INTERLEAVE_BYTES, LINE_BYTES};
@@ -340,6 +341,69 @@ impl MomsSystem {
     /// Takes the recorded trace (empty if tracing was never enabled).
     pub fn take_trace(&mut self) -> Vec<(u16, u64)> {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Installs event tracers on every bank of both levels (private banks
+    /// on `moms.private[i]` tracks, shared banks on `moms.shared[i]`).
+    /// Distinct from [`enable_trace`](Self::enable_trace), which records
+    /// `(pe, line)` request pairs for replay harnesses.
+    pub fn enable_event_tracing(&mut self, cfg: &TraceConfig) {
+        for (i, b) in self.private.iter_mut().enumerate() {
+            b.set_tracer(Tracer::for_track(Track::moms_private(i), cfg));
+        }
+        for (i, b) in self.shared.iter_mut().enumerate() {
+            b.set_tracer(Tracer::for_track(Track::moms_shared(i), cfg));
+        }
+    }
+
+    /// Drains every bank's event stream, one `Vec` per bank in a
+    /// deterministic order (private banks first, then shared).
+    pub fn take_trace_events(&mut self) -> Vec<Vec<TraceEvent>> {
+        self.private
+            .iter_mut()
+            .chain(self.shared.iter_mut())
+            .map(|b| b.take_trace_events())
+            .collect()
+    }
+
+    /// The last `n` events across all banks, merged in time order.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEvent> {
+        let streams = self
+            .private
+            .iter()
+            .chain(self.shared.iter())
+            .map(|b| b.trace_tail(n))
+            .collect();
+        let merged = simkit::trace::merge_events(streams);
+        let skip = merged.len().saturating_sub(n);
+        merged.into_iter().skip(skip).collect()
+    }
+
+    /// Events lost to ring wraparound, summed over banks.
+    pub fn trace_dropped(&self) -> u64 {
+        self.private
+            .iter()
+            .chain(self.shared.iter())
+            .map(|b| b.trace_dropped())
+            .sum()
+    }
+
+    /// Current live MSHR entries summed over every bank (for sampling).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.private
+            .iter()
+            .chain(self.shared.iter())
+            .map(|b| b.snapshot().mshr_occupancy)
+            .sum()
+    }
+
+    /// Current live subentries (pending misses) summed over every bank.
+    pub fn subentry_used(&self) -> usize {
+        self.private
+            .iter()
+            .chain(self.shared.iter())
+            .map(|b| b.subentry_used())
+            .sum()
     }
 
     /// Pops a completed response for PE `pe`, with the original id.

@@ -19,6 +19,8 @@
 //!   deadlocks into structured [`DiagnosticSnapshot`] dumps.
 //! * [`FaultInjector`] — a deterministic, seedable delay/reorder/NACK
 //!   stage for stress-testing response streams.
+//! * [`trace`] — a zero-cost-when-disabled event/counter tracing layer
+//!   with Perfetto/Chrome-trace and CSV exporters.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod handshake;
 pub mod record;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 pub mod watchdog;
 
 pub use delay::DelayLine;
@@ -50,6 +53,9 @@ pub use handshake::CrossingLink;
 pub use record::{Record, Value};
 pub use rng::SplitMix64;
 pub use stats::Stats;
+pub use trace::{
+    EventKind, TraceConfig, TraceEvent, TraceLevel, TraceReport, Tracer, Track, TrackKind,
+};
 pub use watchdog::{DiagnosticSection, DiagnosticSnapshot, Watchdog};
 
 /// Simulation time, in clock cycles of the modelled design.

@@ -1,0 +1,857 @@
+//! Zero-cost-when-disabled event tracing for cycle-level simulations.
+//!
+//! Every timed component ([`crate::Fifo`]-level models own their counters
+//! already) can also own a [`Tracer`]: a fixed-capacity ring buffer of
+//! typed [`TraceEvent`]s stamped with the simulated cycle. A disabled
+//! tracer stores nothing and its [`Tracer::event`] call is a single
+//! predictable branch, so production runs pay nothing for the hooks.
+//!
+//! At the end of a run the harness collects each component's buffer,
+//! merges them into one time-ordered stream ([`merge_events`]), and
+//! exports it as a Perfetto/Chrome-trace JSON file ([`to_chrome_json`])
+//! or a flat CSV timeline ([`to_csv`]). A timestamp-free canonical text
+//! form ([`to_canonical`]) backs golden-trace regression tests.
+//!
+//! Tracing must never perturb the simulation: tracers observe, they do
+//! not participate in handshakes. The differential suite in
+//! `tests/trace_noninterference.rs` enforces this end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::trace::{EventKind, TraceConfig, TraceLevel, Tracer, Track};
+//!
+//! let cfg = TraceConfig::events();
+//! let mut t = Tracer::for_track(Track::pe(0), &cfg);
+//! t.event(5, EventKind::PeIssue, 42);
+//! let events = t.take();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].kind.name(), "pe.issue");
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Cycle;
+
+/// How much the tracing layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Nothing is recorded; every hook is a dead branch.
+    #[default]
+    Off,
+    /// Periodic occupancy samples only (cheap, bounded memory).
+    Counters,
+    /// Occupancy samples plus the full typed event stream.
+    Events,
+}
+
+impl FromStr for TraceLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TraceLevel::Off),
+            "counters" => Ok(TraceLevel::Counters),
+            "events" => Ok(TraceLevel::Events),
+            other => Err(format!(
+                "unknown trace level {other:?} (expected off|counters|events)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Counters => "counters",
+            TraceLevel::Events => "events",
+        })
+    }
+}
+
+/// Configuration for the tracing layer, carried alongside the other
+/// system-level knobs (fault profile, watchdog threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// What to record.
+    pub level: TraceLevel,
+    /// Ring-buffer capacity *per component*; older events are dropped
+    /// (and counted) once a component exceeds it.
+    pub capacity: usize,
+    /// Restrict event recording to `[start, end)` in simulated cycles.
+    pub window: Option<(Cycle, Cycle)>,
+    /// Cycles between occupancy samples (also the time-bucket width of
+    /// the exported counter series).
+    pub sample_period: Cycle,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            level: TraceLevel::Off,
+            capacity: 1 << 16,
+            window: None,
+            sample_period: 1024,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Full event tracing with default capacity and sampling.
+    pub fn events() -> Self {
+        TraceConfig {
+            level: TraceLevel::Events,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Counter-only tracing with default sampling.
+    pub fn counters() -> Self {
+        TraceConfig {
+            level: TraceLevel::Counters,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// `true` unless the level is [`TraceLevel::Off`].
+    pub fn is_active(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+
+    /// `true` when the full event stream is recorded.
+    pub fn records_events(&self) -> bool {
+        self.level == TraceLevel::Events
+    }
+}
+
+/// Which hardware unit a track models. Order defines track ordering in
+/// exports and the tie-break for simultaneous events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrackKind {
+    /// The job scheduler / top-level control (one instance).
+    Scheduler,
+    /// A processing element.
+    Pe,
+    /// A private (per-PE-group) MOMS bank.
+    MomsPrivate,
+    /// A shared MOMS bank.
+    MomsShared,
+    /// A DRAM channel.
+    DramChannel,
+}
+
+/// Identity of one timeline in the trace (one PE, one bank, one channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Unit type.
+    pub kind: TrackKind,
+    /// Instance index within the unit type.
+    pub index: u16,
+}
+
+impl Track {
+    /// The scheduler / control track.
+    pub fn scheduler() -> Self {
+        Track {
+            kind: TrackKind::Scheduler,
+            index: 0,
+        }
+    }
+
+    /// Track of PE `i`.
+    pub fn pe(i: usize) -> Self {
+        Track {
+            kind: TrackKind::Pe,
+            index: i as u16,
+        }
+    }
+
+    /// Track of private MOMS bank `i`.
+    pub fn moms_private(i: usize) -> Self {
+        Track {
+            kind: TrackKind::MomsPrivate,
+            index: i as u16,
+        }
+    }
+
+    /// Track of shared MOMS bank `i`.
+    pub fn moms_shared(i: usize) -> Self {
+        Track {
+            kind: TrackKind::MomsShared,
+            index: i as u16,
+        }
+    }
+
+    /// Track of DRAM channel `i`.
+    pub fn dram(i: usize) -> Self {
+        Track {
+            kind: TrackKind::DramChannel,
+            index: i as u16,
+        }
+    }
+
+    /// Stable human-readable label, also the Perfetto thread name.
+    pub fn label(&self) -> String {
+        match self.kind {
+            TrackKind::Scheduler => "sched".to_owned(),
+            TrackKind::Pe => format!("pe[{}]", self.index),
+            TrackKind::MomsPrivate => format!("moms.private[{}]", self.index),
+            TrackKind::MomsShared => format!("moms.shared[{}]", self.index),
+            TrackKind::DramChannel => format!("dram.ch[{}]", self.index),
+        }
+    }
+
+    /// Dense sort key used as the Perfetto `tid` and for track ordering.
+    pub fn sort_key(&self) -> u32 {
+        let kind = match self.kind {
+            TrackKind::Scheduler => 0u32,
+            TrackKind::Pe => 1,
+            TrackKind::MomsPrivate => 2,
+            TrackKind::MomsShared => 3,
+            TrackKind::DramChannel => 4,
+        };
+        (kind << 16) | self.index as u32
+    }
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The typed event vocabulary. Every variant carries one `u64` argument
+/// whose meaning is variant-specific (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// PE picked up a job; arg = destination interval index.
+    PeJobStart,
+    /// PE finished a job; arg = destination interval index.
+    PeJobDone,
+    /// PE issued a gather into its pipeline; arg = destination offset.
+    PeIssue,
+    /// PE retired a gather; arg = destination offset.
+    PeRetire,
+    /// PE could not issue: read-after-write hazard; arg = blocked count.
+    PeStallRaw,
+    /// PE could not hand a read to the MOMS; arg = line address.
+    PeStallBackpressure,
+    /// PE ran out of free request IDs; arg = 0.
+    PeStallIdStarved,
+    /// MOMS cache hit; arg = line address.
+    MomsHit,
+    /// First miss on a line (allocates an MSHR); arg = line address.
+    MomsPrimaryMiss,
+    /// Additional miss on an in-flight line; arg = line address.
+    MomsSecondaryMiss,
+    /// Cache fill evicted a resident line; arg = evicted line address.
+    MomsEvict,
+    /// One pending subentry was replayed to its PE; arg = request id.
+    MomsReplay,
+    /// Replay blocked: response queue full; arg = line address.
+    MomsStallReplayFull,
+    /// Primary miss blocked: memory request queue full; arg = line.
+    MomsStallMemFull,
+    /// Primary miss blocked: cuckoo insert failed; arg = line.
+    MomsStallMshrFull,
+    /// Secondary miss blocked: subentry rows exhausted; arg = line.
+    MomsStallSubentryFull,
+    /// Cuckoo insert placed a key; arg = number of kicks performed.
+    CuckooInsert,
+    /// Cuckoo insert displaced a resident key; arg = kick depth so far.
+    CuckooKick,
+    /// Subentry row allocated for a primary miss; arg = line address.
+    SubentryAlloc,
+    /// Subentry chain extended with a fresh row; arg = line address.
+    SubentryChain,
+    /// Subentry buffer refused an append; arg = line address.
+    SubentryOverflow,
+    /// DRAM row activate (after any precharge); arg = row id.
+    DramActivate,
+    /// DRAM precharge of an open row; arg = row id being closed.
+    DramPrecharge,
+    /// DRAM access hit the open row; arg = row id.
+    DramRowHit,
+    /// DRAM transaction completed; arg = request id.
+    DramComplete,
+    /// Scheduler handed a job to a PE; arg = (pe << 32) | interval.
+    SchedDispatch,
+    /// A Template-1 iteration began; arg = iteration number.
+    IterStart,
+    /// A Template-1 iteration ended; arg = iteration number.
+    IterEnd,
+    /// The fault injector dropped a response; arg = request id.
+    FaultDrop,
+}
+
+impl EventKind {
+    /// Stable dotted name, used in all exports and the golden fixture.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PeJobStart => "pe.job_start",
+            EventKind::PeJobDone => "pe.job_done",
+            EventKind::PeIssue => "pe.issue",
+            EventKind::PeRetire => "pe.retire",
+            EventKind::PeStallRaw => "pe.stall_raw",
+            EventKind::PeStallBackpressure => "pe.stall_backpressure",
+            EventKind::PeStallIdStarved => "pe.stall_id_starved",
+            EventKind::MomsHit => "moms.hit",
+            EventKind::MomsPrimaryMiss => "moms.primary_miss",
+            EventKind::MomsSecondaryMiss => "moms.secondary_miss",
+            EventKind::MomsEvict => "moms.evict",
+            EventKind::MomsReplay => "moms.replay",
+            EventKind::MomsStallReplayFull => "moms.stall_replay_full",
+            EventKind::MomsStallMemFull => "moms.stall_mem_full",
+            EventKind::MomsStallMshrFull => "moms.stall_mshr_full",
+            EventKind::MomsStallSubentryFull => "moms.stall_subentry_full",
+            EventKind::CuckooInsert => "cuckoo.insert",
+            EventKind::CuckooKick => "cuckoo.kick",
+            EventKind::SubentryAlloc => "subentry.alloc",
+            EventKind::SubentryChain => "subentry.chain",
+            EventKind::SubentryOverflow => "subentry.overflow",
+            EventKind::DramActivate => "dram.activate",
+            EventKind::DramPrecharge => "dram.precharge",
+            EventKind::DramRowHit => "dram.row_hit",
+            EventKind::DramComplete => "dram.complete",
+            EventKind::SchedDispatch => "sched.dispatch",
+            EventKind::IterStart => "iter.start",
+            EventKind::IterEnd => "iter.end",
+            EventKind::FaultDrop => "fault.drop",
+        }
+    }
+
+    /// Perfetto category (the prefix of [`EventKind::name`]).
+    pub fn category(&self) -> &'static str {
+        let name = self.name();
+        &name[..name.find('.').unwrap_or(name.len())]
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event occurred.
+    pub time: Cycle,
+    /// Emitting component.
+    pub track: Track,
+    /// What happened.
+    pub kind: EventKind,
+    /// Variant-specific argument (see [`EventKind`]).
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Timestamp-free canonical rendering (golden-fixture format).
+    pub fn canonical(&self) -> String {
+        format!("{} {} {}", self.track.label(), self.kind.name(), self.arg)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c{} {} {} arg={}",
+            self.time,
+            self.track.label(),
+            self.kind.name(),
+            self.arg
+        )
+    }
+}
+
+/// Per-component ring-buffered event sink.
+///
+/// Disabled tracers ([`Tracer::disabled`]) allocate nothing and reduce
+/// [`Tracer::event`] to one branch; the differential suite verifies the
+/// enabled path never changes simulation results either.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    on: bool,
+    track: Track,
+    window: Option<(Cycle, Cycle)>,
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Next write slot once the ring has wrapped.
+    head: usize,
+    /// Total events recorded (including overwritten ones).
+    total: u64,
+}
+
+impl Tracer {
+    /// A tracer that records nothing; the default for every component.
+    pub fn disabled() -> Self {
+        Tracer {
+            on: false,
+            track: Track::scheduler(),
+            window: None,
+            capacity: 0,
+            buf: Vec::new(),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// A tracer recording on behalf of `track` per `cfg`. Returns a
+    /// disabled tracer unless `cfg` asks for full events.
+    pub fn for_track(track: Track, cfg: &TraceConfig) -> Self {
+        if !cfg.records_events() || cfg.capacity == 0 {
+            return Tracer::disabled();
+        }
+        Tracer {
+            on: true,
+            track,
+            window: cfg.window,
+            capacity: cfg.capacity,
+            buf: Vec::new(),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// `true` when events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Records one event; a no-op (single branch) when disabled or when
+    /// `now` falls outside the configured window.
+    #[inline]
+    pub fn event(&mut self, now: Cycle, kind: EventKind, arg: u64) {
+        if !self.on {
+            return;
+        }
+        self.event_slow(now, kind, arg);
+    }
+
+    #[cold]
+    fn event_slow(&mut self, now: Cycle, kind: EventKind, arg: u64) {
+        if let Some((start, end)) = self.window {
+            if now < start || now >= end {
+                return;
+            }
+        }
+        let ev = TraceEvent {
+            time: now,
+            track: self.track,
+            kind,
+            arg,
+        };
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events recorded so far, including any that were overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to ring-buffer wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The last `n` events, oldest first. Cheap; does not consume.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let ordered = self.ordered();
+        let skip = ordered.len().saturating_sub(n);
+        ordered.into_iter().skip(skip).collect()
+    }
+
+    /// Drains the buffer, returning events oldest first.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        let out = self.ordered();
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+
+    fn ordered(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// Merges per-component streams (each internally time-ordered) into one
+/// stream ordered by `(time, track)`. The merge is deterministic: pass
+/// the streams in a deterministic order and equal-time events within one
+/// component keep their emission order.
+pub fn merge_events(streams: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.time, e.track.sort_key()));
+    all
+}
+
+/// One exported occupancy series: per-time-bucket maxima of a sampled
+/// quantity (MSHR occupancy, subentry rows in use, queue depth, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSeries {
+    /// Metric name (e.g. `"mshr_occupancy"`).
+    pub name: String,
+    /// Width of one bucket in cycles.
+    pub bucket_cycles: Cycle,
+    /// `(bucket_start_cycle, max, mean)` per non-empty bucket.
+    pub points: Vec<(Cycle, u64, f64)>,
+}
+
+/// Everything a traced run produced, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Merged, time-ordered event stream (empty at counters level).
+    pub events: Vec<TraceEvent>,
+    /// Sampled occupancy series.
+    pub counters: Vec<CounterSeries>,
+    /// Events lost to ring wraparound, summed over components.
+    pub dropped: u64,
+    /// Total simulated cycles of the run.
+    pub cycles: Cycle,
+}
+
+impl TraceReport {
+    /// `true` when the report holds neither events nor counter samples.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counters.is_empty()
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a report as Chrome-trace JSON (the Perfetto-compatible
+/// "JSON Array of Events" format): one thread per track, instant events
+/// for the stream, counter tracks for the sampled series, and complete
+/// (`"X"`) slices reconstructed from PE job start/done pairs. Simulated
+/// cycles map 1:1 onto trace microseconds.
+pub fn to_chrome_json(report: &TraceReport) -> String {
+    let mut tracks: Vec<Track> = report.events.iter().map(|e| e.track).collect();
+    tracks.sort_by_key(Track::sort_key);
+    tracks.dedup();
+
+    let mut out = String::with_capacity(64 * report.events.len() + 4096);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |out: &mut String, body: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&body);
+    };
+
+    emit(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"sim\"}}"
+            .to_owned(),
+    );
+    for t in &tracks {
+        let mut name = String::new();
+        push_json_str(&mut name, &t.label());
+        emit(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{name}}}}}",
+                tid = t.sort_key(),
+            ),
+        );
+        emit(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}",
+                tid = t.sort_key(),
+            ),
+        );
+    }
+
+    // PE job slices: pair job_start/job_done per track into "X" events.
+    let mut open: std::collections::BTreeMap<u32, (Cycle, u64)> = std::collections::BTreeMap::new();
+    for e in &report.events {
+        match e.kind {
+            EventKind::PeJobStart => {
+                open.insert(e.track.sort_key(), (e.time, e.arg));
+            }
+            EventKind::PeJobDone => {
+                if let Some((start, interval)) = open.remove(&e.track.sort_key()) {
+                    emit(
+                        &mut out,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":\"job\",\
+                             \"cat\":\"pe\",\"ts\":{start},\"dur\":{dur},\
+                             \"args\":{{\"interval\":{interval}}}}}",
+                            tid = e.track.sort_key(),
+                            dur = e.time.saturating_sub(start).max(1),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for e in &report.events {
+        if matches!(e.kind, EventKind::PeJobStart | EventKind::PeJobDone) {
+            continue; // already rendered as slices
+        }
+        emit(
+            &mut out,
+            format!(
+                "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"name\":\"{name}\",\
+                 \"cat\":\"{cat}\",\"ts\":{ts},\"s\":\"t\",\
+                 \"args\":{{\"arg\":{arg}}}}}",
+                tid = e.track.sort_key(),
+                name = e.kind.name(),
+                cat = e.kind.category(),
+                ts = e.time,
+                arg = e.arg,
+            ),
+        );
+    }
+
+    for series in &report.counters {
+        let mut name = String::new();
+        push_json_str(&mut name, &series.name);
+        for &(t, max, _mean) in &series.points {
+            emit(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"name\":{name},\"ts\":{t},\
+                     \"args\":{{\"value\":{max}}}}}"
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a report as a flat CSV timeline. Events become
+/// `time,track,event,<kind>,<arg>` rows and counter samples become
+/// `time,,counter,<name>,<max>` rows, so one file plots both.
+pub fn to_csv(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str("time,track,record,name,value\n");
+    for e in &report.events {
+        out.push_str(&format!(
+            "{},{},event,{},{}\n",
+            e.time,
+            e.track.label(),
+            e.kind.name(),
+            e.arg
+        ));
+    }
+    for series in &report.counters {
+        for &(t, max, mean) in &series.points {
+            out.push_str(&format!("{t},,counter,{},{max},{mean:.2}\n", series.name));
+        }
+    }
+    out
+}
+
+/// Renders events in the timestamp-free canonical form used by the
+/// golden-trace regression fixture: one `track kind arg` line per event,
+/// in merged stream order.
+pub fn to_canonical(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(32 * events.len());
+    for e in events {
+        out.push_str(&e.canonical());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.event(1, EventKind::MomsHit, 7);
+        assert!(!t.is_enabled());
+        assert_eq!(t.total_recorded(), 0);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn counters_level_keeps_tracers_disabled() {
+        let t = Tracer::for_track(Track::pe(0), &TraceConfig::counters());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let cfg = TraceConfig {
+            capacity: 3,
+            ..TraceConfig::events()
+        };
+        let mut t = Tracer::for_track(Track::dram(1), &cfg);
+        for i in 0..5u64 {
+            t.event(i, EventKind::DramRowHit, i);
+        }
+        assert_eq!(t.total_recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        let evs = t.take();
+        assert_eq!(evs.iter().map(|e| e.arg).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn window_filters_events() {
+        let cfg = TraceConfig {
+            window: Some((10, 20)),
+            ..TraceConfig::events()
+        };
+        let mut t = Tracer::for_track(Track::pe(2), &cfg);
+        t.event(5, EventKind::PeIssue, 0);
+        t.event(10, EventKind::PeIssue, 1);
+        t.event(19, EventKind::PeIssue, 2);
+        t.event(20, EventKind::PeIssue, 3);
+        let evs = t.take();
+        assert_eq!(evs.iter().map(|e| e.arg).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn tail_returns_last_events_oldest_first() {
+        let mut t = Tracer::for_track(Track::moms_shared(0), &TraceConfig::events());
+        for i in 0..10u64 {
+            t.event(i, EventKind::MomsReplay, i);
+        }
+        let tail = t.tail(3);
+        assert_eq!(
+            tail.iter().map(|e| e.arg).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_track() {
+        let mk = |time, track, arg| TraceEvent {
+            time,
+            track,
+            kind: EventKind::MomsHit,
+            arg,
+        };
+        let a = vec![mk(2, Track::pe(1), 0), mk(5, Track::pe(1), 1)];
+        let b = vec![mk(2, Track::pe(0), 2), mk(3, Track::pe(0), 3)];
+        let merged = merge_events(vec![a, b]);
+        let order: Vec<u64> = merged.iter().map(|e| e.arg).collect();
+        assert_eq!(order, vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_names_tracks() {
+        let report = TraceReport {
+            events: vec![
+                TraceEvent {
+                    time: 1,
+                    track: Track::pe(0),
+                    kind: EventKind::PeJobStart,
+                    arg: 4,
+                },
+                TraceEvent {
+                    time: 9,
+                    track: Track::pe(0),
+                    kind: EventKind::PeJobDone,
+                    arg: 4,
+                },
+                TraceEvent {
+                    time: 3,
+                    track: Track::dram(0),
+                    kind: EventKind::DramActivate,
+                    arg: 17,
+                },
+            ],
+            counters: vec![CounterSeries {
+                name: "mshr_occupancy".to_owned(),
+                bucket_cycles: 64,
+                points: vec![(0, 5, 2.5)],
+            }],
+            dropped: 0,
+            cycles: 10,
+        };
+        let json = to_chrome_json(&report);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("pe[0]"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("dram.activate"));
+        assert!(json.contains("mshr_occupancy"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "JSON braces must balance"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record() {
+        let report = TraceReport {
+            events: vec![TraceEvent {
+                time: 4,
+                track: Track::moms_private(1),
+                kind: EventKind::MomsPrimaryMiss,
+                arg: 99,
+            }],
+            counters: vec![CounterSeries {
+                name: "q".to_owned(),
+                bucket_cycles: 16,
+                points: vec![(16, 2, 1.0)],
+            }],
+            dropped: 0,
+            cycles: 20,
+        };
+        let csv = to_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "4,moms.private[1],event,moms.primary_miss,99");
+        assert_eq!(lines[2], "16,,counter,q,2,1.00");
+    }
+
+    #[test]
+    fn canonical_form_is_timestamp_free() {
+        let ev = TraceEvent {
+            time: 123,
+            track: Track::moms_shared(2),
+            kind: EventKind::SubentryChain,
+            arg: 8,
+        };
+        assert_eq!(to_canonical(&[ev]), "moms.shared[2] subentry.chain 8\n");
+    }
+
+    #[test]
+    fn level_parses_and_displays() {
+        assert_eq!("events".parse::<TraceLevel>().unwrap(), TraceLevel::Events);
+        assert_eq!(
+            "counters".parse::<TraceLevel>().unwrap(),
+            TraceLevel::Counters
+        );
+        assert_eq!("off".parse::<TraceLevel>().unwrap(), TraceLevel::Off);
+        assert!("loud".parse::<TraceLevel>().is_err());
+        assert_eq!(TraceLevel::Events.to_string(), "events");
+    }
+}

@@ -33,6 +33,7 @@ fn config(topology: Topology, pes: usize, channels: usize) -> SystemConfig {
         execution: accel::ExecutionMode::AlgorithmDefault,
         moms_trace_cap: 0,
         fault: simkit::FaultConfig::none(),
+        trace: simkit::TraceConfig::default(),
         watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
     }
 }

@@ -233,6 +233,7 @@ fn convergence_tracking_skips_inactive_work() {
         execution: accel::ExecutionMode::AlgorithmDefault,
         moms_trace_cap: 0,
         fault: simkit::FaultConfig::none(),
+        trace: simkit::TraceConfig::default(),
         watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
     };
     let r = System::new(&g, Partitioner::new(128, 128), Algorithm::bfs(0), cfg).run();

@@ -58,6 +58,7 @@ fn small_config() -> SystemConfig {
         execution: accel::ExecutionMode::AlgorithmDefault,
         moms_trace_cap: 0,
         fault: simkit::FaultConfig::none(),
+        trace: simkit::TraceConfig::default(),
         watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
     }
 }

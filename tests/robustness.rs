@@ -115,6 +115,45 @@ fn watchdog_fires_on_seeded_deadlock() {
 }
 
 #[test]
+fn stall_snapshot_embeds_trace_tail_naming_dropped_request() {
+    // Same seeded deadlock as above, but with event tracing on: the
+    // diagnostic snapshot must gain a `trace-tail` section whose events
+    // include the `fault.drop` record naming the black-holed completion —
+    // the smoking gun a human needs to see first when triaging a hang.
+    let g = test_graph();
+    let mut cfg = SystemConfig::small();
+    cfg.moms.private = cfg.moms.private.without_cache();
+    cfg.moms.shared = cfg.moms.shared.without_cache();
+    cfg.fault = FaultConfig {
+        profile: FaultProfile::BlackHole,
+        seed: 5,
+    };
+    cfg.watchdog_cycles = Some(20_000);
+    cfg.trace = simkit::TraceConfig {
+        level: simkit::trace::TraceLevel::Events,
+        ..simkit::TraceConfig::default()
+    };
+    let mut sys = System::new(&g, Partitioner::new(64, 64), Algorithm::sssp(0), cfg);
+    match sys.run_to_outcome(None) {
+        Err(RunError::Stalled(snap)) => {
+            let tail = snap
+                .sections
+                .iter()
+                .find(|s| s.name == "trace-tail")
+                .expect("tracing-enabled stall must embed a trace-tail section");
+            assert!(!tail.entries.is_empty(), "trace tail is empty");
+            let rendered = snap.to_string();
+            assert!(rendered.contains("[trace-tail]"), "got: {rendered}");
+            assert!(
+                rendered.contains("fault.drop arg="),
+                "trace tail must name the black-holed request:\n{rendered}"
+            );
+        }
+        other => panic!("expected a watchdog stall, got {other:?}"),
+    }
+}
+
+#[test]
 fn run_panics_with_diagnostic_on_stall() {
     let g = test_graph();
     let mut cfg = SystemConfig::small();
