@@ -117,6 +117,11 @@ pub struct SystemConfig {
     /// Observability layer: event/counter tracing (default: off, every
     /// hook is a dead branch).
     pub trace: TraceConfig,
+    /// Fast-forward over cycles in which no component can make progress
+    /// (host-side optimisation only — simulated cycles, statistics, and
+    /// traces are bit-identical either way; `tests/determinism.rs` holds
+    /// that line). Disable to force one host loop iteration per cycle.
+    pub idle_skip: bool,
 }
 
 impl SystemConfig {
@@ -150,6 +155,7 @@ impl SystemConfig {
             fault: FaultConfig::none(),
             watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
             trace: TraceConfig::default(),
+            idle_skip: true,
         }
     }
 

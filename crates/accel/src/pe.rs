@@ -261,8 +261,24 @@ pub struct Pe {
     edges_done: u64,
     result: Option<JobResult>,
     stats: Stats,
+    counters: PeCounters,
     breakdown: PeCycleBreakdown,
     tracer: Tracer,
+}
+
+/// Hot-path event counters kept as plain fields: these are bumped every
+/// cycle or every edge, where a name-keyed [`Stats`] lookup would
+/// dominate the simulation loop. [`Pe::stats`] folds them into the
+/// exported registry under their usual names.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeCounters {
+    busy_cycles: u64,
+    raw_stalls: u64,
+    local_reads: u64,
+    moms_reads: u64,
+    moms_backpressure: u64,
+    id_starved: u64,
+    edges_processed: u64,
 }
 
 impl Pe {
@@ -305,6 +321,7 @@ impl Pe {
             phase: Phase::Idle,
             job: None,
             stats: Stats::new(),
+            counters: PeCounters::default(),
             breakdown: PeCycleBreakdown::default(),
             tracer: Tracer::disabled(),
             cfg,
@@ -360,8 +377,28 @@ impl Pe {
 
     /// Counters: `edges_processed`, `raw_stalls`, `moms_backpressure`,
     /// `id_starved`, `local_reads`, `moms_reads`, `jobs`, `busy_cycles`.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    ///
+    /// Built on demand: the hot counters live in plain fields
+    /// ([`PeCounters`]) and are folded in here, keeping the per-tick path
+    /// free of name lookups. As with direct `Stats` use, a counter that
+    /// never fired has no entry.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        let c = &self.counters;
+        for (name, v) in [
+            ("busy_cycles", c.busy_cycles),
+            ("edges_processed", c.edges_processed),
+            ("id_starved", c.id_starved),
+            ("local_reads", c.local_reads),
+            ("moms_backpressure", c.moms_backpressure),
+            ("moms_reads", c.moms_reads),
+            ("raw_stalls", c.raw_stalls),
+        ] {
+            if v > 0 {
+                s.add(name, v);
+            }
+        }
+        s
     }
 
     /// Exhaustive per-cycle attribution accumulated since construction.
@@ -420,6 +457,98 @@ impl Pe {
             self.free_ids.len(),
             self.cfg.id_slots,
         )
+    }
+
+    /// Earliest future cycle at which this PE can make progress *on its
+    /// own* — without a MOMS response, DRAM burst completion, or new job
+    /// arriving. `None` means the PE is inert: ticking it any number of
+    /// times changes nothing observable (no state, no stats, no trace
+    /// events) until some external completion lands. `Some(now + 1)` is
+    /// the conservative "cannot prove inert" answer.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.dram_out.is_empty() {
+            // The system moves these into channel queues every cycle.
+            return Some(now + 1);
+        }
+        match self.phase {
+            // An idle PE only acts when the scheduler hands it a job; the
+            // system accounts for pullable jobs separately.
+            Phase::Idle => None,
+            Phase::Init => {
+                if self.ordered_burst_outstanding && self.init_done_cursor == self.init_avail {
+                    None // waiting purely on the vin/vconst burst
+                } else {
+                    Some(now + 1) // would issue a burst or fill BRAM
+                }
+            }
+            Phase::FetchPtrs => {
+                if self.ordered_burst_outstanding {
+                    None // waiting purely on the pointer burst
+                } else {
+                    Some(now + 1)
+                }
+            }
+            Phase::Stream => {
+                // Any queued gather input or edge means the next tick
+                // issues, consumes, or records a stall — all observable.
+                if !self.moms_gather_q.is_empty()
+                    || !self.local_q.is_empty()
+                    || !self.edge_q.is_empty()
+                {
+                    return Some(now + 1);
+                }
+                // issue_dma may start another edge burst.
+                if self.shard_cursor < self.shards.len()
+                    && self.edge_bursts_outstanding < self.cfg.edge_tags
+                {
+                    return Some(now + 1);
+                }
+                // Only the gather pipeline can act by itself, at its
+                // front's maturity; otherwise we wait on MOMS/DRAM.
+                self.pipe.front().map(|&(ready, _)| ready.max(now + 1))
+            }
+            Phase::Apply => Some(now + 1), // makes progress every cycle
+            Phase::Writeback => {
+                if self.ordered_burst_outstanding {
+                    None // waiting purely on the write acknowledgement
+                } else {
+                    Some(now + 1)
+                }
+            }
+        }
+    }
+
+    /// Books `gap` skipped cycles into the statistics and attribution
+    /// classes the next `gap` ticks would have charged. Only valid while
+    /// the PE is inert (see [`next_event`](Self::next_event)): the charged
+    /// class is a pure function of the frozen state, exactly as in
+    /// [`tick`](Self::tick).
+    pub fn credit_inert_cycles(&mut self, gap: u64) {
+        if gap == 0 {
+            return;
+        }
+        if !matches!(self.phase, Phase::Idle) {
+            self.counters.busy_cycles += gap;
+        }
+        match self.phase {
+            Phase::Idle => self.breakdown.idle += gap,
+            Phase::Init => self.breakdown.init += gap,
+            Phase::FetchPtrs => self.breakdown.fetch_ptrs += gap,
+            Phase::Apply => self.breakdown.apply += gap,
+            Phase::Writeback => self.breakdown.writeback += gap,
+            Phase::Stream => {
+                // Mirrors the no-progress arm of `tick_stream`'s
+                // attribution: an inert stream cycle has empty queues, so
+                // the raw/backpressure/starved observations cannot fire.
+                if self.inflight_moms > 0 {
+                    self.breakdown.stream_moms_wait += gap;
+                } else if self.edge_bursts_outstanding > 0 || !self.edge_q.is_empty() {
+                    self.breakdown.stream_dram_wait += gap;
+                } else {
+                    self.breakdown.stream_drain += gap;
+                }
+            }
+        }
     }
 
     fn alloc_tag(&mut self, kind: Burst) -> u64 {
@@ -670,7 +799,7 @@ impl Pe {
     /// reads/writes the functional image.
     pub fn tick(&mut self, now: Cycle, img: &mut MemImage, moms: &mut MomsSystem, pe_idx: usize) {
         if !matches!(self.phase, Phase::Idle) {
-            self.stats.inc("busy_cycles");
+            self.counters.busy_cycles += 1;
         }
         // Attribute this cycle to the phase it started in; stream cycles
         // are sub-classified inside `tick_stream`.
@@ -756,7 +885,7 @@ impl Pe {
             Some(false)
         } else {
             if !self.moms_gather_q.is_empty() || !self.local_q.is_empty() {
-                self.stats.inc("raw_stalls");
+                self.counters.raw_stalls += 1;
                 raw_blocked = true;
                 let waiting = (self.moms_gather_q.len() + self.local_q.len()) as u64;
                 self.tracer.event(now, EventKind::PeStallRaw, waiting);
@@ -814,7 +943,7 @@ impl Pe {
                     });
                     self.edge_q.pop_front();
                     self.edge_q_words -= wpe;
-                    self.stats.inc("local_reads");
+                    self.counters.local_reads += 1;
                     progressed = true;
                 }
             } else {
@@ -822,7 +951,7 @@ impl Pe {
                     match self.free_ids.front() {
                         Some(&id) => Some(id),
                         None => {
-                            self.stats.inc("id_starved");
+                            self.counters.id_starved += 1;
                             starved = true;
                             self.tracer
                                 .event(now, EventKind::PeStallIdStarved, e.src as u64);
@@ -847,10 +976,10 @@ impl Pe {
                         self.inflight_moms += 1;
                         self.edge_q.pop_front();
                         self.edge_q_words -= wpe;
-                        self.stats.inc("moms_reads");
+                        self.counters.moms_reads += 1;
                         progressed = true;
                     } else {
-                        self.stats.inc("moms_backpressure");
+                        self.counters.moms_backpressure += 1;
                         backpressured = true;
                         self.tracer
                             .event(now, EventKind::PeStallBackpressure, req.line);
@@ -903,7 +1032,7 @@ impl Pe {
             self.updated = true;
         }
         self.edges_done += 1;
-        self.stats.inc("edges_processed");
+        self.counters.edges_processed += 1;
     }
 
     fn tick_apply(&mut self, img: &mut MemImage) {

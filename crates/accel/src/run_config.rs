@@ -73,6 +73,9 @@ pub struct RunConfig {
     pub watchdog_cycles: Option<Cycle>,
     /// Event/counter tracing configuration (default: off).
     pub trace: TraceConfig,
+    /// Fast-forward provably idle stretches of the simulation (host-side
+    /// speed only; results are bit-identical either way).
+    pub idle_skip: bool,
 }
 
 impl RunConfig {
@@ -91,6 +94,7 @@ impl RunConfig {
             fault: FaultConfig::none(),
             watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
             trace: TraceConfig::default(),
+            idle_skip: true,
         }
     }
 
@@ -140,6 +144,7 @@ impl RunConfig {
             fault: self.fault,
             watchdog_cycles: self.watchdog_cycles,
             trace: self.trace,
+            idle_skip: self.idle_skip,
         };
         cfg.validate();
         (cfg, Partitioner::new(ns, nd))

@@ -1,7 +1,7 @@
 //! Top-level accelerator (Fig. 6): scheduler, PEs, MOMS, DRAM, and the
 //! Template 1 iteration loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use simkit::stats::TimeBuckets;
@@ -176,6 +176,10 @@ impl MetricsSnapshot {
 pub struct RunResult {
     /// Total simulated clock cycles.
     pub cycles: Cycle,
+    /// Host loop iterations actually executed. Equal to `cycles` minus
+    /// the cycles fast-forwarded by idle skipping; the gap between the
+    /// two is pure host-side work saved with zero simulated effect.
+    pub host_ticks: u64,
     /// Iterations executed.
     pub iterations: u32,
     /// Edges processed (gathers retired), summed over iterations.
@@ -262,8 +266,12 @@ pub struct System {
     graph: CooGraph,
     /// Per-PE DRAM segments awaiting channel space.
     seg_q: Vec<VecDeque<DramRequest>>,
-    /// Remaining segments per (pe, tag) logical burst.
-    burst_segments: HashMap<(usize, u64), u32>,
+    /// Remaining segments per outstanding `(tag, count)` logical burst,
+    /// per PE. Only a handful of bursts are ever in flight per PE
+    /// (bounded by `edge_tags` plus init/pointer/write bursts), so a
+    /// linear scan beats hashing and the vectors never reallocate after
+    /// warmup.
+    burst_segments: Vec<Vec<(u64, u32)>>,
     /// Fault injector on the DRAM-completion path (bypassed entirely when
     /// the profile is `None`).
     fault: FaultInjector<DramResponse>,
@@ -273,6 +281,8 @@ pub struct System {
     tracer: Tracer,
     /// Occupancy sampler (`None` when tracing is off).
     sampler: Option<OccupancySampler>,
+    /// Simulation loop iterations executed (cycles minus skipped gaps).
+    host_ticks: u64,
     now: Cycle,
 }
 
@@ -325,7 +335,7 @@ impl System {
         let sched = Scheduler::new(gi.qs());
         System {
             seg_q: vec![VecDeque::new(); cfg.num_pes()],
-            burst_segments: HashMap::new(),
+            burst_segments: (0..cfg.num_pes()).map(|_| Vec::with_capacity(8)).collect(),
             fault: FaultInjector::new(cfg.fault),
             watchdog: cfg.watchdog_cycles.map(Watchdog::new),
             graph_nodes: g.num_nodes(),
@@ -339,6 +349,7 @@ impl System {
             graph: g.clone(),
             tracer,
             sampler,
+            host_ticks: 0,
             now: 0,
             cfg,
         }
@@ -493,7 +504,7 @@ impl System {
         let values = self.algo.finalize(&self.graph, &raw);
         let mut stats = Stats::new();
         for pe in &self.pes {
-            stats.merge(pe.stats());
+            stats.merge(&pe.stats());
         }
         stats.merge(&self.moms.stats());
         stats.merge(&self.mem.stats());
@@ -515,6 +526,7 @@ impl System {
         };
         Ok(RunResult {
             cycles: self.now,
+            host_ticks: self.host_ticks,
             iterations,
             edges_processed: edges_total,
             values,
@@ -588,10 +600,16 @@ impl System {
         }
         loop {
             self.now += 1;
+            self.host_ticks += 1;
             let now = self.now;
             let mut progressed = false;
+            // Polls key off executed host ticks, not simulated cycles:
+            // idle skipping can jump the cycle counter over any fixed
+            // cycle mask, but every poll interval of *work* still gets a
+            // wall-clock and watchdog check. With skipping off the two
+            // counters advance in lockstep, so the cadence is unchanged.
             if let Some(d) = deadline {
-                if now & DEADLINE_POLL_MASK == 0 && Instant::now() >= d {
+                if self.host_ticks & DEADLINE_POLL_MASK == 0 && Instant::now() >= d {
                     return Err(RunError::TimedOut);
                 }
             }
@@ -634,7 +652,7 @@ impl System {
             for i in 0..self.pes.len() {
                 while let Some(req) = self.pes[i].pop_dram_request() {
                     let segs = self.mem.split_burst(req.addr, req.lines);
-                    self.burst_segments.insert((i, req.tag), segs.len() as u32);
+                    self.burst_segments[i].push((req.tag, segs.len() as u32));
                     for (_, _, lines, gaddr) in segs {
                         self.seg_q[i].push_back(DramRequest {
                             id: encode_pe_id(i, req.tag),
@@ -709,7 +727,7 @@ impl System {
                 if let Some(w) = &mut self.watchdog {
                     w.note_progress(now);
                 }
-            } else if now & WATCHDOG_POLL_MASK == 0 {
+            } else if self.host_ticks & WATCHDOG_POLL_MASK == 0 {
                 if let Some(w) = &self.watchdog {
                     if w.is_stalled(now) {
                         return Err(RunError::Stalled(Box::new(self.diagnostic_snapshot())));
@@ -731,8 +749,93 @@ impl System {
                 self.now < safety_limit,
                 "iteration did not converge within the cycle safety limit"
             );
+
+            // 8. Idle skipping: when every component is provably inert
+            //    until some future cycle, fast-forward the clock to just
+            //    before it and book the skipped cycles into the same
+            //    statistics the unskipped loop would have produced.
+            if self.cfg.idle_skip {
+                if let Some(gap) = self.idle_gap(now, safety_limit) {
+                    self.now += gap;
+                    for pe in &mut self.pes {
+                        pe.credit_inert_cycles(gap);
+                    }
+                }
+            }
         }
         Ok(edges)
+    }
+
+    /// Cycles that may be fast-forwarded because no component can change
+    /// observable state before then; the loop then executes the first
+    /// potentially eventful cycle normally. `None` means tick normally.
+    ///
+    /// The predicate is conservative: every component either names its
+    /// earliest possible self-driven event or answers "next cycle" when
+    /// it cannot prove inertness. Skipped cycles are exactly the ticks
+    /// that would have been no-ops, which is what keeps skip-on and
+    /// skip-off runs bit-identical (`tests/determinism.rs`).
+    fn idle_gap(&self, now: Cycle, safety_limit: Cycle) -> Option<u64> {
+        // Host-side work at the top of the loop: job dispatch and segment
+        // issue both act on the very next tick.
+        if !self.sched.queue.is_empty() && self.pes.iter().any(|p| p.is_idle()) {
+            return None;
+        }
+        if self.seg_q.iter().any(|q| !q.is_empty()) {
+            return None;
+        }
+        if self.fault.is_active() && self.fault.pending() > 0 {
+            return None;
+        }
+        // Probe components cheapest-first and bail as soon as one reports
+        // an event at `now + 1`: no gap is possible then, so the pricier
+        // probes (the MOMS iterates every bank) never run on a busy
+        // cycle. A source at `now + 1` caps the min at `now + 1` whatever
+        // the others say, so bailing early merges to the same answer.
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            c <= now + 1
+        };
+        for pe in &self.pes {
+            if let Some(c) = pe.next_event(now) {
+                if merge(c) {
+                    return None;
+                }
+            }
+        }
+        if let Some(c) = self.mem.next_event(now) {
+            if merge(c) {
+                return None;
+            }
+        }
+        if let Some(c) = self.moms.next_event(now) {
+            if merge(c) {
+                return None;
+            }
+        }
+        let mut target = match next {
+            Some(t) => t,
+            // No component can ever act again on its own: a genuine
+            // deadlock. Jump straight to where the watchdog can trip so
+            // detection stays prompt; without a watchdog, tick normally
+            // and let the deadline or safety limit catch it.
+            None => match &self.watchdog {
+                Some(w) => w.last_progress() + w.threshold() + 1,
+                None => return None,
+            },
+        };
+        // Never skip over a sampling boundary (the occupancy series must
+        // record every period point), the watchdog trip point, or the
+        // convergence safety limit.
+        if let Some(s) = &self.sampler {
+            target = target.min((now / s.period + 1) * s.period);
+        }
+        if let Some(w) = &self.watchdog {
+            target = target.min(w.last_progress() + w.threshold() + 1);
+        }
+        target = target.min(safety_limit);
+        (target > now + 1).then(|| target - 1 - now)
     }
 
     /// Delivers one DRAM completion to its owner (MOMS line fetch or PE
@@ -742,13 +845,14 @@ impl System {
             self.moms.dram_response(resp.id, resp.lines);
         } else {
             let (pe, tag) = decode_pe_id(resp.id);
-            let left = self
-                .burst_segments
-                .get_mut(&(pe, tag))
+            let bursts = &mut self.burst_segments[pe];
+            let idx = bursts
+                .iter()
+                .position(|&(t, _)| t == tag)
                 .expect("segment bookkeeping");
-            *left -= 1;
-            if *left == 0 {
-                self.burst_segments.remove(&(pe, tag));
+            bursts[idx].1 -= 1;
+            if bursts[idx].1 == 0 {
+                bursts.swap_remove(idx);
                 self.pes[pe].burst_complete(tag, &self.img);
             }
         }
@@ -779,7 +883,10 @@ impl System {
                 s.push(format!("seg_q[{i}]"), q.len());
             }
         }
-        s.push("bursts_awaiting_segments", self.burst_segments.len());
+        s.push(
+            "bursts_awaiting_segments",
+            self.burst_segments.iter().map(Vec::len).sum::<usize>(),
+        );
         sections.push(s);
 
         sections.push(self.moms.diagnostic());

@@ -118,6 +118,12 @@ impl ArchPoint {
         Self::ALL[5]
     }
 
+    /// The paper's headline two-level point (also in [`Self::QUICK`]);
+    /// the perf smoke gate pins this architecture.
+    pub fn two_level_18_16() -> ArchPoint {
+        Self::ALL[4]
+    }
+
     fn scaled_bank(&self, cache_kib: usize, private: bool, shrink: usize) -> MomsConfig {
         if self.traditional {
             // Same cache capacity as the MOMS counterpart (Fig. 15

@@ -12,7 +12,7 @@
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 ablate sweep syncasync paperscale related
-//!              explain all
+//!              explain perf all
 //! --full           all 12 benchmarks and all 7 architectures (slow)
 //! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
 //! --jobs N         worker threads for engine-driven experiments
@@ -31,6 +31,13 @@
 //!                  in .csv; with several points, PATH-<point> files
 //! --trace-level L  events (default with --trace) or counters
 //! --trace-window START:END  record events only in [START, END) cycles
+//! --smoke          (perf only) run just the pinned CI smoke point
+//!
+//! `perf` measures host throughput (simulated cycles and executed host
+//! ticks per wall-clock second, per point) and writes `BENCH_<date>.json`
+//! (or `--out PATH`). Wall-clock numbers live only in that report — the
+//! regular experiment exports stay byte-identical across hosts and
+//! `--jobs` values.
 //! ```
 
 use std::time::Duration;
@@ -51,10 +58,12 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut format = Format::Json;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => scope.full = true,
+            "--smoke" => smoke = true,
             "--shrink" => {
                 i += 1;
                 scope.shrink = args
@@ -154,6 +163,17 @@ fn main() {
         usage("--trace-level/--trace-window require --trace PATH");
     }
     engine::set_global_config(engine_cfg);
+
+    // `perf` owns its output file (host-timing JSON, not point records)
+    // and runs nothing through the engine recorder.
+    if which == "perf" {
+        print!("{}", bench::perf::run(scope, smoke, out_path));
+        return;
+    }
+    if smoke {
+        usage("--smoke only applies to the perf experiment");
+    }
+
     if out_path.is_some() {
         engine::enable_recording();
     }
@@ -178,6 +198,7 @@ fn main() {
         "paperscale" => print!("{}", experiments::paperscale::run()),
         "related" => print!("{}", experiments::related_work::run(scope)),
         "explain" => print!("{}", bench::explain::run(scope)),
+        "perf" => unreachable!("perf dispatched before the engine recorder"),
         other => usage(&format!("unknown experiment {other}")),
     };
 
@@ -281,8 +302,8 @@ fn parse_window(s: &str) -> Option<(u64, u64)> {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|all> \
-         [--full] [--shrink N] [--jobs N] [--timeout-secs S] \
+        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|perf|all> \
+         [--full] [--smoke] [--shrink N] [--jobs N] [--timeout-secs S] \
          [--out PATH] [--format json|csv] \
          [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \
          [--fault-seed N] [--watchdog-cycles N] \

@@ -11,11 +11,15 @@ pub mod engine;
 pub mod experiments;
 pub mod explain;
 pub mod microbench;
+pub mod perf;
 pub mod runner;
 
 pub use arch::ArchPoint;
 pub use engine::{EngineConfig, Outcome, PointResult, PointSpec};
-pub use runner::{run_graph, run_graph_outcome, run_point, CacheVariant, Row, RunFailure, RunSpec};
+pub use perf::PerfPoint;
+pub use runner::{
+    prepare_graph, run_graph, run_graph_outcome, run_point, CacheVariant, Row, RunFailure, RunSpec,
+};
 
 /// Geometric mean of positive values; 0 for an empty slice.
 pub fn geomean(xs: &[f64]) -> f64 {

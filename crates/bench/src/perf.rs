@@ -1,0 +1,279 @@
+//! Host-throughput measurement: the `repro perf` subcommand.
+//!
+//! Simulated results are deterministic and host-timing never leaks into
+//! result exports; this module is the one place where wall-clock numbers
+//! are first-class. For every point of the scoped sweep it reports
+//!
+//! * **sim cycles/sec** — simulated cycles advanced per host second, the
+//!   headline throughput of the simulator (what a ≥3× speedup claim is
+//!   measured on);
+//! * **host ticks/sec** — simulation-loop iterations executed per host
+//!   second, i.e. the per-tick host cost with idle skipping factored
+//!   out (`host_ticks == cycles` when skipping is off);
+//! * the skip ratio between the two.
+//!
+//! The run writes `BENCH_<date>.json` (or `--out PATH`) so baselines can
+//! be committed and compared by the CI perf gate. Points are measured
+//! sequentially on one thread regardless of `--jobs`, so numbers are not
+//! confounded by scheduling.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use accel::System;
+use algos::Algorithm;
+use graph::benchmarks::BenchmarkId;
+
+use crate::experiments::Scope;
+use crate::runner::{prepare_graph, RunSpec};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Benchmark tag.
+    pub bench: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Architecture label.
+    pub arch: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Simulation-loop iterations executed (cycles minus skipped gaps).
+    pub host_ticks: u64,
+    /// Host seconds simulating this point (graph preparation excluded).
+    pub wall_seconds: f64,
+}
+
+impl PerfPoint {
+    /// Simulated cycles advanced per host second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        per_sec(self.cycles, self.wall_seconds)
+    }
+
+    /// Simulation-loop iterations executed per host second.
+    pub fn host_ticks_per_sec(&self) -> f64 {
+        per_sec(self.host_ticks, self.wall_seconds)
+    }
+}
+
+fn per_sec(count: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// The pinned smoke point the CI perf gate runs: one benchmark, one
+/// algorithm, one architecture, small enough for a CI runner yet long
+/// enough (hundreds of thousands of cycles) that ticks/sec is stable.
+pub fn smoke_matrix() -> Vec<(BenchmarkId, Algorithm, Option<u32>)> {
+    vec![(BenchmarkId::Wt, Algorithm::Scc, None)]
+}
+
+/// The scoped perf matrix: the same benchmarks × algorithms the sweep
+/// runs.
+fn matrix(scope: &Scope) -> Vec<(BenchmarkId, Algorithm, Option<u32>)> {
+    let mut points = Vec::new();
+    for bench in scope.benches() {
+        for (algo, iters) in scope.algos() {
+            points.push((bench, algo, iters));
+        }
+    }
+    points
+}
+
+/// Measures every point of `scope` (× its architectures), renders the
+/// human-readable report, and writes the JSON summary to `out_path`.
+///
+/// With `smoke`, only the pinned smoke point runs (the CI gate's mode).
+pub fn run(scope: Scope, smoke: bool, out_path: Option<String>) -> String {
+    let archs = if smoke {
+        vec![crate::arch::ArchPoint::two_level_18_16()]
+    } else {
+        scope.archs()
+    };
+    let matrix = if smoke {
+        smoke_matrix()
+    } else {
+        matrix(&scope)
+    };
+    let shrink = if smoke { 16 } else { scope.shrink };
+
+    let mut points: Vec<PerfPoint> = Vec::new();
+    for (bench, algo, iters) in &matrix {
+        let g = prepare_graph(
+            *bench,
+            graph::reorder::Preprocess::DbgHash,
+            shrink,
+            algo.is_weighted(),
+        );
+        for arch in &archs {
+            let mut spec = RunSpec::new(*arch);
+            spec.shrink = shrink;
+            spec.max_iterations = *iters;
+            let (cfg, partitioner) = spec.run_config().build();
+            let mut sys = System::new(&g, partitioner, *algo, cfg);
+            let t = Instant::now();
+            let result = sys.run();
+            let wall = t.elapsed().as_secs_f64();
+            points.push(PerfPoint {
+                bench: bench.tag().to_owned(),
+                algo: algo.name().to_owned(),
+                arch: arch.name.to_owned(),
+                cycles: result.cycles,
+                host_ticks: result.host_ticks,
+                wall_seconds: wall,
+            });
+        }
+    }
+
+    let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", today()));
+    let json = render_json(&points);
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote perf report to {path}"),
+        Err(e) => eprintln!("error: cannot write {path}: {e}"),
+    }
+    render_report(&points)
+}
+
+/// Aggregates totals over a measured point set.
+fn totals(points: &[PerfPoint]) -> (u64, u64, f64) {
+    let cycles = points.iter().map(|p| p.cycles).sum();
+    let ticks = points.iter().map(|p| p.host_ticks).sum();
+    let secs = points.iter().map(|p| p.wall_seconds).sum();
+    (cycles, ticks, secs)
+}
+
+fn render_report(points: &[PerfPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== perf: host throughput per point ==");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<10} {:<14} {:>12} {:>12} {:>9} {:>14} {:>14}",
+        "bench", "algo", "arch", "cycles", "host ticks", "wall s", "cycles/s", "ticks/s"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<10} {:<14} {:>12} {:>12} {:>9.3} {:>14.0} {:>14.0}",
+            p.bench,
+            p.algo,
+            p.arch,
+            p.cycles,
+            p.host_ticks,
+            p.wall_seconds,
+            p.sim_cycles_per_sec(),
+            p.host_ticks_per_sec(),
+        );
+    }
+    let (cycles, ticks, secs) = totals(points);
+    let _ = writeln!(
+        out,
+        "total: {cycles} cycles ({ticks} ticks) in {secs:.3}s = {:.0} sim cycles/s, {:.0} host ticks/s, skip ratio {:.2}x",
+        per_sec(cycles, secs),
+        per_sec(ticks, secs),
+        if ticks > 0 { cycles as f64 / ticks as f64 } else { 1.0 },
+    );
+    out
+}
+
+/// Renders the committed-baseline JSON: per-point rows plus totals. No
+/// external dependencies, so the format is assembled by hand.
+fn render_json(points: &[PerfPoint]) -> String {
+    let (cycles, ticks, secs) = totals(points);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"date\": \"{}\",", today());
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"bench\": \"{}\", \"algo\": \"{}\", \"arch\": \"{}\", \
+             \"cycles\": {}, \"host_ticks\": {}, \"wall_seconds\": {:.6}, \
+             \"sim_cycles_per_sec\": {:.1}, \"host_ticks_per_sec\": {:.1}}}{comma}",
+            p.bench,
+            p.algo,
+            p.arch,
+            p.cycles,
+            p.host_ticks,
+            p.wall_seconds,
+            p.sim_cycles_per_sec(),
+            p.host_ticks_per_sec(),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"total\": {{\"cycles\": {cycles}, \"host_ticks\": {ticks}, \
+         \"wall_seconds\": {secs:.6}, \"sim_cycles_per_sec\": {:.1}, \
+         \"host_ticks_per_sec\": {:.1}}}",
+        per_sec(cycles, secs),
+        per_sec(ticks, secs),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), from the system clock — the only
+/// host-dependent value in the report besides the timings themselves.
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // Leap day.
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let points = vec![PerfPoint {
+            bench: "WT".into(),
+            algo: "scc".into(),
+            arch: "2lvl 18/16".into(),
+            cycles: 1000,
+            host_ticks: 800,
+            wall_seconds: 0.5,
+        }];
+        let json = render_json(&points);
+        assert!(json.starts_with("{\n") && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"sim_cycles_per_sec\": 2000.0"));
+        assert!(json.contains("\"host_ticks_per_sec\": 1600.0"));
+        assert!(json.contains("\"total\""));
+    }
+
+    #[test]
+    fn smoke_point_is_pinned() {
+        let m = smoke_matrix();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].0, BenchmarkId::Wt);
+    }
+}

@@ -141,6 +141,20 @@ struct BankState {
     ready_at: Cycle,
 }
 
+/// Hot-path event counters kept as plain fields so the per-transaction
+/// scheduling path never touches the name-keyed [`Stats`] map; they are
+/// folded into a `Stats` value on demand by [`DramChannel::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelCounters {
+    row_hits: u64,
+    row_misses: u64,
+    read_lines: u64,
+    write_lines: u64,
+    read_txns: u64,
+    write_txns: u64,
+    bus_busy_cycles: u64,
+}
+
 /// One DRAM channel: bounded request queue, per-bank row state, shared data
 /// bus, FR-FCFS-lite scheduling, and an in-order completion queue.
 ///
@@ -156,7 +170,7 @@ pub struct DramChannel {
     /// (completion cycle, response); completion cycles are monotonically
     /// nondecreasing because transfers serialise on the data bus.
     completions: VecDeque<(Cycle, DramResponse)>,
-    stats: Stats,
+    counters: ChannelCounters,
     tracer: Tracer,
     /// Transactions ever accepted (conservation ledger).
     ledger_pushed: u64,
@@ -180,7 +194,7 @@ impl DramChannel {
             bus_free_at: 0,
             completions: VecDeque::new(),
             cfg,
-            stats: Stats::new(),
+            counters: ChannelCounters::default(),
             tracer: Tracer::disabled(),
             ledger_pushed: 0,
             ledger_popped: 0,
@@ -306,54 +320,22 @@ impl DramChannel {
         if self.bus_free_at > now {
             return; // data bus busy; cannot start another transfer
         }
-        // FR-FCFS-lite: inspect a small window of the visible queue and
-        // prefer the first row hit; otherwise take the oldest entry.
-        let window: Vec<DramRequest> = self
-            .requests
-            .iter()
-            .take(self.cfg.sched_window)
-            .copied()
-            .collect();
-        if window.is_empty() {
+        if self.requests.visible_len() == 0 {
             return;
         }
+        // FR-FCFS-lite: inspect a small window of the visible queue and
+        // prefer the first row hit; otherwise take the oldest entry.
         let mut chosen = 0usize;
-        for (i, r) in window.iter().enumerate() {
+        for (i, r) in self.requests.iter().take(self.cfg.sched_window).enumerate() {
             let (bank, row) = self.bank_and_row(r.addr);
             if self.banks[bank].open_row == Some(row) && self.banks[bank].ready_at <= now {
                 chosen = i;
                 break;
             }
         }
-        // Remove the chosen request from the queue (pop+rotate since Fifo
-        // only pops from the front; window is small so this is cheap).
-        let mut head: Vec<DramRequest> = Vec::with_capacity(chosen + 1);
-        for _ in 0..=chosen {
-            head.push(self.requests.pop().expect("window item present"));
-        }
-        let req = head.pop().expect("chosen request");
-        // Re-stage the skipped older entries at the front order-preserved:
-        // Fifo has no push_front, so rebuild via a temporary. Skipped
-        // entries keep priority because they are re-inspected next cycle.
-        if !head.is_empty() {
-            let mut rest: Vec<DramRequest> = Vec::new();
-            while let Some(r) = self.requests.pop() {
-                rest.push(r);
-            }
-            let mut rebuilt = Fifo::new(self.cfg.queue_depth);
-            for r in head.into_iter().chain(rest) {
-                rebuilt
-                    .push(r)
-                    .unwrap_or_else(|_| unreachable!("rebuild within capacity"));
-            }
-            rebuilt.tick(); // make them visible immediately
-                            // Preserve items that were staged (pushed this cycle) in the
-                            // old queue: they were already moved by the drain above only if
-                            // visible; staged ones are not reachable via pop, so copy them.
-                            // Note: requests.tick() ran at the top of this function, so
-                            // nothing is staged at this point.
-            self.requests = rebuilt;
-        }
+        // Skipped older entries keep their slots (and thus priority for
+        // next cycle's window): the ring removes in place.
+        let req = self.requests.remove_visible(chosen);
 
         let (bank, row) = self.bank_and_row(req.addr);
         let row_hit = self.banks[bank].open_row == Some(row);
@@ -397,18 +379,18 @@ impl DramChannel {
         ));
 
         if row_hit {
-            self.stats.inc("row_hits");
+            self.counters.row_hits += 1;
         } else {
-            self.stats.inc("row_misses");
+            self.counters.row_misses += 1;
         }
         if req.write {
-            self.stats.add("write_lines", req.lines as u64);
-            self.stats.inc("write_txns");
+            self.counters.write_lines += req.lines as u64;
+            self.counters.write_txns += 1;
         } else {
-            self.stats.add("read_lines", req.lines as u64);
-            self.stats.inc("read_txns");
+            self.counters.read_lines += req.lines as u64;
+            self.counters.read_txns += 1;
         }
-        self.stats.add("bus_busy_cycles", transfer);
+        self.counters.bus_busy_cycles += transfer;
     }
 
     /// `true` when no work is queued or in flight.
@@ -416,22 +398,58 @@ impl DramChannel {
         self.requests.is_empty() && self.completions.is_empty()
     }
 
+    /// Earliest future cycle at which this channel can change observable
+    /// state: a staged request turning visible, the bus freeing up with
+    /// work queued, or the oldest completion maturing. `None` when idle —
+    /// idle skipping may then fast-forward the channel arbitrarily far.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        };
+        if self.requests.len() > self.requests.visible_len() {
+            merge(now + 1); // staged requests become schedulable next tick
+        }
+        if self.requests.visible_len() > 0 {
+            merge(self.bus_free_at.max(now + 1));
+        }
+        if let Some(&(ready, _)) = self.completions.front() {
+            merge(ready);
+        }
+        next
+    }
+
     /// Counters: `row_hits`, `row_misses`, `read_lines`, `write_lines`,
     /// `read_txns`, `write_txns`, `bus_busy_cycles`.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        let c = &self.counters;
+        for (name, v) in [
+            ("bus_busy_cycles", c.bus_busy_cycles),
+            ("read_lines", c.read_lines),
+            ("read_txns", c.read_txns),
+            ("row_hits", c.row_hits),
+            ("row_misses", c.row_misses),
+            ("write_lines", c.write_lines),
+            ("write_txns", c.write_txns),
+        ] {
+            if v > 0 {
+                s.add(name, v);
+            }
+        }
+        s
     }
 
     /// Point-in-time view of this channel's counters as a value type.
     pub fn snapshot(&self) -> DramChannelSnapshot {
         DramChannelSnapshot {
-            row_hits: self.stats.get("row_hits"),
-            row_misses: self.stats.get("row_misses"),
-            read_lines: self.stats.get("read_lines"),
-            write_lines: self.stats.get("write_lines"),
-            read_txns: self.stats.get("read_txns"),
-            write_txns: self.stats.get("write_txns"),
-            bus_busy_cycles: self.stats.get("bus_busy_cycles"),
+            row_hits: self.counters.row_hits,
+            row_misses: self.counters.row_misses,
+            read_lines: self.counters.read_lines,
+            write_lines: self.counters.write_lines,
+            read_txns: self.counters.read_txns,
+            write_txns: self.counters.write_txns,
+            bus_busy_cycles: self.counters.bus_busy_cycles,
         }
     }
 

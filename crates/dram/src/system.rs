@@ -122,17 +122,23 @@ impl MemorySystem {
         self.channels.iter().all(|c| c.is_idle())
     }
 
+    /// Earliest future cycle at which any channel can change observable
+    /// state; `None` when the whole memory system is idle.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.channels.iter().filter_map(|c| c.next_event(now)).min()
+    }
+
     /// Aggregated statistics across channels.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
         for c in &self.channels {
-            s.merge(c.stats());
+            s.merge(&c.stats());
         }
         s
     }
 
     /// Per-channel statistics.
-    pub fn channel_stats(&self, ch: usize) -> &Stats {
+    pub fn channel_stats(&self, ch: usize) -> Stats {
         self.channels[ch].stats()
     }
 

@@ -101,12 +101,6 @@ impl MomsBankSnapshot {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Replay {
-    line: u64,
-    entries: VecDeque<Subentry>,
-}
-
 /// One in-flight burst-assembly window (DynaBurst extension).
 #[derive(Debug, Clone, Copy)]
 struct AsmWindow {
@@ -131,15 +125,38 @@ pub struct MomsBank {
     mem_resp_q: Fifo<(u64, u32)>,
     mshr: CuckooMshr,
     subs: SubentryBuffer,
-    replay: VecDeque<Replay>,
+    /// Pending replays, one `(line, subentry)` pair per response to emit;
+    /// a single persistent queue shared by all in-flight replays so
+    /// completing a miss never allocates.
+    replay: VecDeque<(u64, Subentry)>,
     assembly: VecDeque<AsmWindow>,
     busy_until: Cycle,
     stats: Stats,
+    counters: BankCounters,
     tracer: Tracer,
     /// Requests ever accepted into `in_q` (conservation ledger).
     ledger_accepted: u64,
     /// Responses ever pushed into `out_q` (conservation ledger).
     ledger_responded: u64,
+}
+
+/// Hot-path event counters kept as plain fields: the bank charges one or
+/// more of these nearly every tick, where a name-keyed [`Stats`] lookup
+/// would dominate the simulation loop. [`MomsBank::stats`] folds them
+/// into the exported registry under their usual names.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankCounters {
+    assembled_bursts: u64,
+    responses: u64,
+    cache_hits: u64,
+    primary_misses: u64,
+    secondary_misses: u64,
+    stall_out_full: u64,
+    stall_mem_full: u64,
+    stall_subentry_full: u64,
+    stall_mshr_insert: u64,
+    busy_kick_cycles: u64,
+    busy_chain_cycles: u64,
 }
 
 impl MomsBank {
@@ -165,10 +182,11 @@ impl MomsBank {
             mem_resp_q: Fifo::new(cfg.mem_queue),
             mshr: CuckooMshr::new(mshrs, cfg.cuckoo_ways, cfg.max_kicks),
             subs: SubentryBuffer::new(cfg.subentries, cfg.subentry_slots_per_row, cfg.chain_rows),
-            replay: VecDeque::new(),
-            assembly: VecDeque::new(),
+            replay: VecDeque::with_capacity(64),
+            assembly: VecDeque::with_capacity(16),
             busy_until: 0,
             stats: Stats::new(),
+            counters: BankCounters::default(),
             tracer: Tracer::disabled(),
             ledger_accepted: 0,
             ledger_responded: 0,
@@ -230,6 +248,44 @@ impl MomsBank {
         self.mem_resp_q.push((line, count)).is_ok()
     }
 
+    /// Earliest future cycle at which this bank can change observable
+    /// state on its own: queued work becoming processable (possibly gated
+    /// by a multi-cycle structural cost), staged queue items turning
+    /// visible, or an assembly window maturing. `None` when the bank is
+    /// inert — it may still hold live MSHRs waiting on memory responses,
+    /// which arrive through the caller and are the caller's events.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        };
+        // Work the pipeline can process once `busy_until` passes.
+        if !self.in_q.is_empty() || !self.mem_resp_q.is_empty() || !self.replay.is_empty() {
+            merge(self.busy_until.max(now + 1));
+        }
+        // Visible output waits on external consumers, staged output turns
+        // visible next tick — either way the surrounding system can move.
+        if !self.out_q.is_empty() || !self.mem_req_q.is_empty() {
+            merge(now + 1);
+        }
+        if !self.assembly.is_empty() {
+            let max_lines = self.cfg.burst_assembly.map_or(1, |b| b.max_lines);
+            let full_mask = if max_lines >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << max_lines) - 1
+            };
+            for w in &self.assembly {
+                if w.mask == full_mask {
+                    merge(now + 1);
+                } else {
+                    merge(w.deadline.max(now + 1));
+                }
+            }
+        }
+        next
+    }
+
     /// `true` when nothing is queued, pending, or replaying.
     pub fn is_idle(&self) -> bool {
         self.in_q.is_empty()
@@ -256,9 +312,9 @@ impl MomsBank {
             peak_pending_misses: self.subs.peak_entries(),
             cache_hits,
             cache_misses,
-            stall_mshr_full: self.stats.get("stall_mshr_insert"),
-            stall_subentry_full: self.stats.get("stall_subentry_full"),
-            stall_mem_full: self.stats.get("stall_mem_full"),
+            stall_mshr_full: self.counters.stall_mshr_insert,
+            stall_subentry_full: self.counters.stall_subentry_full,
+            stall_mem_full: self.counters.stall_mem_full,
         }
     }
 
@@ -302,8 +358,32 @@ impl MomsBank {
     /// `responses`, stalls by cause (`stall_out_full`, `stall_mem_full`,
     /// `stall_subentry_full`, `stall_mshr_insert`, `busy_kick_cycles`,
     /// `busy_chain_cycles`).
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    ///
+    /// Built on demand: the hot counters live in plain fields
+    /// ([`BankCounters`]) and are folded in here, keeping the per-tick
+    /// path free of name lookups. As with direct `Stats` use, a counter
+    /// that never fired has no entry.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        let c = &self.counters;
+        for (name, v) in [
+            ("assembled_bursts", c.assembled_bursts),
+            ("busy_chain_cycles", c.busy_chain_cycles),
+            ("busy_kick_cycles", c.busy_kick_cycles),
+            ("cache_hits", c.cache_hits),
+            ("primary_misses", c.primary_misses),
+            ("responses", c.responses),
+            ("secondary_misses", c.secondary_misses),
+            ("stall_mem_full", c.stall_mem_full),
+            ("stall_mshr_insert", c.stall_mshr_insert),
+            ("stall_out_full", c.stall_out_full),
+            ("stall_subentry_full", c.stall_subentry_full),
+        ] {
+            if v > 0 {
+                s.add(name, v);
+            }
+        }
+        s
     }
 
     /// Configuration of this bank.
@@ -339,7 +419,7 @@ impl MomsBank {
 
     /// One-line occupancy summary for watchdog diagnostics.
     pub fn diagnostic(&self) -> String {
-        let replaying: usize = self.replay.iter().map(|r| r.entries.len()).sum();
+        let replaying: usize = self.replay.len();
         format!(
             "in_q={} out_q={} mem_req={} mem_resp={} replay={} asm={} mshr={}/{} \
              subs={} free_rows={} busy_until={}",
@@ -374,7 +454,7 @@ impl MomsBank {
     /// Panics when a request was lost or duplicated.
     #[cfg(feature = "invariants")]
     fn check_ledger(&self) {
-        let replaying: u64 = self.replay.iter().map(|r| r.entries.len() as u64).sum();
+        let replaying: u64 = self.replay.len() as u64;
         assert_eq!(
             self.ledger_accepted,
             self.ledger_responded
@@ -467,7 +547,7 @@ impl MomsBank {
                 self.mem_req_q
                     .push((w.base + first as u64, span))
                     .unwrap_or_else(|_| unreachable!("checked can_push"));
-                self.stats.inc("assembled_bursts");
+                self.counters.assembled_bursts += 1;
                 self.stats
                     .add("wasted_burst_lines", (span - requested) as u64);
             }
@@ -478,11 +558,9 @@ impl MomsBank {
         }
 
         // 1. Replay in progress: one subentry per cycle into the output.
-        if let Some(rep) = self.replay.front_mut() {
-            let replay_line = rep.line;
+        if let Some(&(line, e)) = self.replay.front() {
             if self.out_q.can_push() {
-                let e = rep.entries.pop_front().expect("replay nonempty");
-                let line = rep.line;
+                self.replay.pop_front();
                 self.out_q
                     .push(MomsResp {
                         line,
@@ -490,16 +568,12 @@ impl MomsBank {
                         id: e.id,
                     })
                     .unwrap_or_else(|_| unreachable!("checked can_push"));
-                self.stats.inc("responses");
+                self.counters.responses += 1;
                 self.ledger_responded += 1;
                 self.tracer.event(now, EventKind::MomsReplay, e.id as u64);
-                if rep.entries.is_empty() {
-                    self.replay.pop_front();
-                }
             } else {
-                self.stats.inc("stall_out_full");
-                self.tracer
-                    .event(now, EventKind::MomsStallReplayFull, replay_line);
+                self.counters.stall_out_full += 1;
+                self.tracer.event(now, EventKind::MomsStallReplayFull, line);
             }
             return;
         }
@@ -517,10 +591,11 @@ impl MomsBank {
                     }
                 }
                 if let Some(entry) = self.mshr.remove(line) {
-                    let entries: VecDeque<Subentry> = self.subs.take_chain(entry.head_row).into();
-                    debug_assert_eq!(entries.len() as u32, entry.pending);
-                    debug_assert!(!entries.is_empty(), "MSHR with no pending subentries");
-                    self.replay.push_back(Replay { line, entries });
+                    let n = self
+                        .subs
+                        .drain_chain_into(entry.head_row, line, &mut self.replay);
+                    debug_assert_eq!(n as u32, entry.pending);
+                    debug_assert!(n > 0, "MSHR with no pending subentries");
                     any = true;
                 }
             }
@@ -548,12 +623,12 @@ impl MomsBank {
                             id: req.id,
                         })
                         .unwrap_or_else(|_| unreachable!("checked can_push"));
-                    self.stats.inc("cache_hits");
-                    self.stats.inc("responses");
+                    self.counters.cache_hits += 1;
+                    self.counters.responses += 1;
                     self.ledger_responded += 1;
                     self.tracer.event(now, EventKind::MomsHit, req.line);
                 } else {
-                    self.stats.inc("stall_out_full");
+                    self.counters.stall_out_full += 1;
                     self.tracer
                         .event(now, EventKind::MomsStallReplayFull, req.line);
                 }
@@ -575,18 +650,18 @@ impl MomsBank {
                     entry.tail_row = new_tail;
                     entry.pending += 1;
                     self.in_q.pop();
-                    self.stats.inc("secondary_misses");
+                    self.counters.secondary_misses += 1;
                     self.tracer
                         .event(now, EventKind::MomsSecondaryMiss, req.line);
                     if chained {
                         // Linking a fresh row costs one extra cycle.
                         self.busy_until = now + 2;
-                        self.stats.inc("busy_chain_cycles");
+                        self.counters.busy_chain_cycles += 1;
                         self.tracer.event(now, EventKind::SubentryChain, req.line);
                     }
                 }
                 Err(SubentryFull) => {
-                    self.stats.inc("stall_subentry_full");
+                    self.counters.stall_subentry_full += 1;
                     self.tracer
                         .event(now, EventKind::SubentryOverflow, req.line);
                 }
@@ -602,19 +677,19 @@ impl MomsBank {
             Some(limit) => self.assembly.len() < limit || self.mem_req_q.can_push(),
         };
         if !mem_path_free {
-            self.stats.inc("stall_mem_full");
+            self.counters.stall_mem_full += 1;
             self.tracer
                 .event(now, EventKind::MomsStallMemFull, req.line);
             return;
         }
         if self.mshr.is_full() {
-            self.stats.inc("stall_mshr_insert");
+            self.counters.stall_mshr_insert += 1;
             self.tracer
                 .event(now, EventKind::MomsStallMshrFull, req.line);
             return;
         }
         let Ok(row) = self.subs.alloc_row() else {
-            self.stats.inc("stall_subentry_full");
+            self.counters.stall_subentry_full += 1;
             self.tracer
                 .event(now, EventKind::SubentryOverflow, req.line);
             return;
@@ -655,21 +730,21 @@ impl MomsBank {
                         }
                     }
                 }
-                self.stats.inc("primary_misses");
+                self.counters.primary_misses += 1;
                 self.tracer.event(now, EventKind::MomsPrimaryMiss, req.line);
                 self.tracer.event(now, EventKind::SubentryAlloc, req.line);
                 self.tracer
                     .event(now, EventKind::CuckooInsert, kicks as u64);
                 if kicks > 0 {
                     self.busy_until = now + 1 + kicks as Cycle;
-                    self.stats.add("busy_kick_cycles", kicks as u64);
+                    self.counters.busy_kick_cycles += kicks as u64;
                     self.tracer.event(now, EventKind::CuckooKick, kicks as u64);
                 }
             }
             InsertOutcome::Failed => {
                 // Return the unused row and stall; occupancy will drain.
                 self.subs.release_empty_row(row);
-                self.stats.inc("stall_mshr_insert");
+                self.counters.stall_mshr_insert += 1;
                 self.busy_until = now + self.cfg.max_kicks.max(1) as Cycle;
                 self.tracer
                     .event(now, EventKind::MomsStallMshrFull, req.line);

@@ -60,6 +60,66 @@ pub struct CuckooMshr {
     max_kicks: usize,
     occupancy: usize,
     peak_occupancy: usize,
+    /// Persistent BFS scratch (allocated once; the insert slow path is hot
+    /// at high occupancy and must not allocate per call).
+    scratch: BfsScratch,
+}
+
+/// Reusable BFS working set for cuckoo eviction-path search. Visited marks
+/// are epoch-stamped so reuse costs nothing: a slot is visited in the
+/// current search iff `stamp[slot] == epoch`.
+#[derive(Debug, Clone)]
+struct BfsScratch {
+    /// Parent slot on the eviction path; `u32::MAX` marks a start slot.
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    stamp: Vec<u32>,
+    queue: Vec<u32>,
+    epoch: u32,
+}
+
+impl BfsScratch {
+    fn new(capacity: usize) -> Self {
+        BfsScratch {
+            parent: vec![u32::MAX; capacity],
+            depth: vec![0; capacity],
+            stamp: vec![0; capacity],
+            queue: Vec::with_capacity(capacity),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a fresh search: bumps the epoch (resetting stamps lazily)
+    /// and empties the queue.
+    fn begin(&mut self) {
+        self.queue.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    fn visited(&self, slot: usize) -> bool {
+        self.stamp[slot] == self.epoch
+    }
+
+    fn visit(&mut self, slot: usize, depth: u32, parent: u32) {
+        self.stamp[slot] = self.epoch;
+        self.depth[slot] = depth;
+        self.parent[slot] = parent;
+    }
+}
+
+/// SplitMix-style finalizer with a per-way tweak (free function so the
+/// insert path can hash while holding disjoint borrows of the table).
+#[inline]
+fn hash_slot(way: usize, line: u64, slots_per_way: usize) -> usize {
+    let mut z = line ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(way as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    way * slots_per_way + (z % slots_per_way as u64) as usize
 }
 
 impl CuckooMshr {
@@ -82,6 +142,7 @@ impl CuckooMshr {
             max_kicks,
             occupancy: 0,
             peak_occupancy: 0,
+            scratch: BfsScratch::new(capacity),
         }
     }
 
@@ -106,12 +167,7 @@ impl CuckooMshr {
     }
 
     fn hash(&self, way: usize, line: u64) -> usize {
-        // SplitMix-style finalizer with a per-way tweak.
-        let mut z = line ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(way as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        way * self.slots_per_way + (z % self.slots_per_way as u64) as usize
+        hash_slot(way, line, self.slots_per_way)
     }
 
     /// Finds the entry for `line`, if present.
@@ -181,33 +237,36 @@ impl CuckooMshr {
         // the first slot; on failure the table is untouched. (Hardware
         // performs the same displacements sequentially, one per cycle,
         // which is the cost we report as `kicks`.)
-        let start: Vec<usize> = (0..self.ways).map(|w| self.hash(w, entry.line)).collect();
-        let mut parent: Vec<Option<usize>> = vec![None; self.slots.len()];
-        let mut depth: Vec<u32> = vec![u32::MAX; self.slots.len()];
-        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-        for &s in &start {
-            if depth[s] == u32::MAX {
-                depth[s] = 1;
-                queue.push_back(s);
+        let (ways, spw, max_kicks) = (self.ways, self.slots_per_way, self.max_kicks);
+        self.scratch.begin();
+        for w in 0..ways {
+            let s = hash_slot(w, entry.line, spw);
+            if !self.scratch.visited(s) {
+                self.scratch.visit(s, 1, u32::MAX);
+                self.scratch.queue.push(s as u32);
             }
         }
-        while let Some(slot) = queue.pop_front() {
-            if depth[slot] as usize > self.max_kicks {
+        let mut qhead = 0usize;
+        while qhead < self.scratch.queue.len() {
+            let slot = self.scratch.queue[qhead] as usize;
+            qhead += 1;
+            if self.scratch.depth[slot] as usize > max_kicks {
                 continue;
             }
             let occupant = self.slots[slot].expect("BFS only visits occupied slots");
-            for w in 0..self.ways {
-                let alt = self.hash(w, occupant.line);
+            for w in 0..ways {
+                let alt = hash_slot(w, occupant.line, spw);
                 if alt == slot {
                     continue;
                 }
                 if self.slots[alt].is_none() {
                     // Found a path: shift entries from `slot` into `alt`,
                     // walking parents back to a start slot.
-                    let kicks = depth[slot];
+                    let kicks = self.scratch.depth[slot];
                     self.slots[alt] = self.slots[slot];
                     let mut cur = slot;
-                    while let Some(p) = parent[cur] {
+                    while self.scratch.parent[cur] != u32::MAX {
+                        let p = self.scratch.parent[cur] as usize;
                         self.slots[cur] = self.slots[p];
                         cur = p;
                     }
@@ -215,10 +274,10 @@ impl CuckooMshr {
                     self.note_insert();
                     return InsertOutcome::Placed { kicks };
                 }
-                if depth[alt] == u32::MAX && (depth[slot] as usize) < self.max_kicks {
-                    depth[alt] = depth[slot] + 1;
-                    parent[alt] = Some(slot);
-                    queue.push_back(alt);
+                if !self.scratch.visited(alt) && (self.scratch.depth[slot] as usize) < max_kicks {
+                    let d = self.scratch.depth[slot] + 1;
+                    self.scratch.visit(alt, d, slot as u32);
+                    self.scratch.queue.push(alt as u32);
                 }
             }
         }

@@ -186,6 +186,39 @@ impl SubentryBuffer {
         out
     }
 
+    /// Like [`take_chain`](Self::take_chain), but appends each subentry
+    /// tagged with `line` into a caller-owned queue instead of allocating
+    /// a fresh `Vec` — the bank's replay path reuses one queue across the
+    /// whole run. Rows free and the live-entry count drops immediately,
+    /// exactly as with `take_chain`. Returns the number of drained
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not a valid allocated row.
+    pub fn drain_chain_into(
+        &mut self,
+        head: u32,
+        line: u64,
+        out: &mut std::collections::VecDeque<(u64, Subentry)>,
+    ) -> usize {
+        let mut n = 0;
+        let mut cur = head;
+        while cur != NO_ROW {
+            let row = &mut self.rows[cur as usize];
+            for e in row.entries.drain(..) {
+                out.push_back((line, e));
+                n += 1;
+            }
+            let next = row.next;
+            row.next = NO_ROW;
+            self.free.push(cur);
+            cur = next;
+        }
+        self.used_entries -= n;
+        n
+    }
+
     /// Number of subentries in the chain starting at `head` (O(rows)).
     pub fn chain_len(&self, head: u32) -> usize {
         let mut n = 0;

@@ -192,6 +192,9 @@ struct InFlight<T> {
     item: T,
 }
 
+/// Sentinel in `route_scratch`: this PE has no pending request.
+const NO_TARGET: u32 = u32::MAX;
+
 /// Round-robin pointer helper.
 fn rr_next(ptr: &mut usize, n: usize) -> usize {
     let v = *ptr;
@@ -228,8 +231,19 @@ pub struct MomsSystem {
     dram_stash: Vec<std::collections::VecDeque<(u64, u32)>>,
     /// Round-robin arbitration pointers per shared bank.
     req_rr: Vec<usize>,
+    /// Per-PE memoised target bank of the head request in the routing
+    /// scans (`NO_TARGET` = no pending request). Refilled every tick so
+    /// the per-(bank, PE) round-robin probes compare a cached index
+    /// instead of re-hashing the line address each time.
+    route_scratch: Vec<u32>,
+    /// Per-shared-bank count of PEs whose memoised head request targets
+    /// it; banks with a zero count skip their round-robin scan entirely.
+    bank_scratch: Vec<u16>,
     banks_per_channel: usize,
-    stats: Stats,
+    /// DRAM-side transaction counters kept as plain fields (hot path);
+    /// folded into the [`stats`](Self::stats) aggregate on demand.
+    n_dram_line_requests: u64,
+    n_dram_transactions: u64,
     /// Optional request trace: accepted `(pe, line)` pairs, capped.
     trace: Option<Vec<(u16, u64)>>,
     trace_cap: usize,
@@ -268,14 +282,20 @@ impl MomsSystem {
         MomsSystem {
             pe_req: (0..cfg.num_pes).map(|_| Fifo::new(4)).collect(),
             pe_resp: (0..cfg.num_pes).map(|_| Fifo::new(16)).collect(),
-            req_net: vec![Vec::new(); nb],
-            resp_net: vec![Vec::new(); cfg.num_pes],
-            line_net: vec![Vec::new(); cfg.num_pes],
+            // Network occupancy is credit-bounded by the destination
+            // queues; reserve enough up front that steady state never
+            // grows these buffers.
+            req_net: (0..nb).map(|_| Vec::with_capacity(32)).collect(),
+            resp_net: (0..cfg.num_pes).map(|_| Vec::with_capacity(32)).collect(),
+            line_net: (0..cfg.num_pes).map(|_| Vec::with_capacity(32)).collect(),
             link_free: vec![0; cfg.num_pes],
             dram_stash: vec![std::collections::VecDeque::new(); n_dram_requesters],
             req_rr: vec![0; nb],
+            route_scratch: vec![NO_TARGET; cfg.num_pes],
+            bank_scratch: vec![0; nb],
             banks_per_channel,
-            stats: Stats::new(),
+            n_dram_line_requests: 0,
+            n_dram_transactions: 0,
             trace: None,
             trace_cap: 0,
             private,
@@ -459,33 +479,69 @@ impl MomsSystem {
     /// PE queues → crossbar → shared banks (Shared topology).
     fn tick_shared_level_from_pes(&mut self, now: Cycle) {
         let npes = self.cfg.num_pes;
-        for b in 0..self.shared.len() {
-            // Credit: in-flight plus queued must fit the bank input queue.
-            let inflight = self.req_net[b].len();
-            if inflight + self.shared[b].in_q_len() >= self.shared[b].config().in_queue {
-                continue;
-            }
-            let start = self.req_rr[b];
-            for k in 0..npes {
-                let pe = (start + k) % npes;
-                let Some(&req) = self.pe_req[pe].peek() else {
-                    continue;
-                };
-                if self.shared_bank_for_line(req.line) != b {
+        // Memoise each PE's head-request target bank once per tick: the
+        // per-(bank, PE) round-robin probes below then compare a cached
+        // index instead of re-hashing the line address every time. Grant
+        // order and results are identical to hashing in the inner loop.
+        let mut pending = 0usize;
+        self.bank_scratch.fill(0);
+        for pe in 0..npes {
+            self.route_scratch[pe] = match self.pe_req[pe].peek() {
+                Some(req) => {
+                    pending += 1;
+                    let b = self.shared_bank_for_line(req.line);
+                    self.bank_scratch[b] += 1;
+                    b as u32
+                }
+                None => NO_TARGET,
+            };
+        }
+        if pending > 0 {
+            for b in 0..self.shared.len() {
+                // A bank no PE is heading for would scan to no effect.
+                if self.bank_scratch[b] == 0 {
                     continue;
                 }
-                self.pe_req[pe].pop();
-                let lat = self.net_latency(self.cfg.pe_slr[pe], self.shared_bank_slr(b));
-                let wrapped = MomsReq {
-                    id: (pe as u32) << 16 | req.id,
-                    ..req
-                };
-                self.req_net[b].push(InFlight {
-                    ready: now + lat,
-                    item: wrapped,
-                });
-                rr_next(&mut self.req_rr[b], npes);
-                break;
+                // Credit: in-flight plus queued must fit the bank input
+                // queue.
+                let inflight = self.req_net[b].len();
+                if inflight + self.shared[b].in_q_len() >= self.shared[b].config().in_queue {
+                    continue;
+                }
+                let start = self.req_rr[b];
+                let mut pe = start;
+                for _ in 0..npes {
+                    if self.route_scratch[pe] != b as u32 {
+                        pe += 1;
+                        if pe == npes {
+                            pe = 0;
+                        }
+                        continue;
+                    }
+                    let req = self.pe_req[pe].pop().expect("memoised head present");
+                    // A later bank in this same tick may take this PE's
+                    // *next* request: refresh the memo.
+                    self.bank_scratch[b] -= 1;
+                    self.route_scratch[pe] = match self.pe_req[pe].peek() {
+                        Some(r) => {
+                            let nb = self.shared_bank_for_line(r.line);
+                            self.bank_scratch[nb] += 1;
+                            nb as u32
+                        }
+                        None => NO_TARGET,
+                    };
+                    let lat = self.net_latency(self.cfg.pe_slr[pe], self.shared_bank_slr(b));
+                    let wrapped = MomsReq {
+                        id: (pe as u32) << 16 | req.id,
+                        ..req
+                    };
+                    self.req_net[b].push(InFlight {
+                        ready: now + lat,
+                        item: wrapped,
+                    });
+                    rr_next(&mut self.req_rr[b], npes);
+                    break;
+                }
             }
         }
         // Mature arrivals into bank inputs.
@@ -511,34 +567,64 @@ impl MomsSystem {
     /// Private bank line misses → crossbar → shared banks (TwoLevel).
     fn tick_shared_level_from_private(&mut self, now: Cycle) {
         let npes = self.cfg.num_pes;
-        // Peek each private bank's pending line request and route it.
-        for b in 0..self.shared.len() {
-            let inflight = self.req_net[b].len();
-            if inflight + self.shared[b].in_q_len() >= self.shared[b].config().in_queue {
-                continue;
-            }
-            let start = self.req_rr[b];
-            for k in 0..npes {
-                let pe = (start + k) % npes;
-                let Some((line, count)) = self.private[pe].peek_mem_request() else {
-                    continue;
-                };
-                debug_assert_eq!(count, 1, "two-level private banks emit single lines");
-                if self.shared_bank_for_line(line) != b {
+        // Same memoisation as `tick_shared_level_from_pes`, keyed on each
+        // private bank's pending line request.
+        let mut pending = 0usize;
+        self.bank_scratch.fill(0);
+        for pe in 0..npes {
+            self.route_scratch[pe] = match self.private[pe].peek_mem_request() {
+                Some((line, count)) => {
+                    debug_assert_eq!(count, 1, "two-level private banks emit single lines");
+                    pending += 1;
+                    let b = self.shared_bank_for_line(line);
+                    self.bank_scratch[b] += 1;
+                    b as u32
+                }
+                None => NO_TARGET,
+            };
+        }
+        if pending > 0 {
+            for b in 0..self.shared.len() {
+                if self.bank_scratch[b] == 0 {
                     continue;
                 }
-                self.private[pe].pop_mem_request();
-                let lat = self.net_latency(self.cfg.pe_slr[pe], self.shared_bank_slr(b));
-                self.req_net[b].push(InFlight {
-                    ready: now + lat,
-                    item: MomsReq {
-                        line,
-                        word: 0,
-                        id: pe as u32,
-                    },
-                });
-                rr_next(&mut self.req_rr[b], npes);
-                break;
+                let inflight = self.req_net[b].len();
+                if inflight + self.shared[b].in_q_len() >= self.shared[b].config().in_queue {
+                    continue;
+                }
+                let start = self.req_rr[b];
+                let mut pe = start;
+                for _ in 0..npes {
+                    if self.route_scratch[pe] != b as u32 {
+                        pe += 1;
+                        if pe == npes {
+                            pe = 0;
+                        }
+                        continue;
+                    }
+                    let (line, _) = self.private[pe].peek_mem_request().expect("memoised head");
+                    self.private[pe].pop_mem_request();
+                    self.bank_scratch[b] -= 1;
+                    self.route_scratch[pe] = match self.private[pe].peek_mem_request() {
+                        Some((l, _)) => {
+                            let nb = self.shared_bank_for_line(l);
+                            self.bank_scratch[nb] += 1;
+                            nb as u32
+                        }
+                        None => NO_TARGET,
+                    };
+                    let lat = self.net_latency(self.cfg.pe_slr[pe], self.shared_bank_slr(b));
+                    self.req_net[b].push(InFlight {
+                        ready: now + lat,
+                        item: MomsReq {
+                            line,
+                            word: 0,
+                            id: pe as u32,
+                        },
+                    });
+                    rr_next(&mut self.req_rr[b], npes);
+                    break;
+                }
             }
         }
         let (req_net, shared) = (&mut self.req_net, &mut self.shared);
@@ -568,8 +654,8 @@ impl MomsSystem {
                             DramRequest::read(encode_dram_id(i, line), addr, count),
                         )
                         .unwrap_or_else(|_| unreachable!("checked can_accept"));
-                        self.stats.add("dram_line_requests", count as u64);
-                        self.stats.inc("dram_transactions");
+                        self.n_dram_line_requests += count as u64;
+                        self.n_dram_transactions += 1;
                     }
                 }
                 while let Some(&(line, count)) = self.dram_stash[i].front() {
@@ -598,8 +684,8 @@ impl MomsSystem {
                     bank.pop_mem_request();
                     mem.push_request(now, DramRequest::read(encode_dram_id(b, line), addr, count))
                         .unwrap_or_else(|_| unreachable!("checked can_accept"));
-                    self.stats.add("dram_line_requests", count as u64);
-                    self.stats.inc("dram_transactions");
+                    self.n_dram_line_requests += count as u64;
+                    self.n_dram_transactions += 1;
                 }
             }
             while let Some(&(line, count)) = self.dram_stash[b].front() {
@@ -686,19 +772,22 @@ impl MomsSystem {
 
     /// Moves every matured item for which `sink` returns `true` out of the
     /// network buffer; preserves order among unmatured/unaccepted items.
+    /// Single in-place compaction pass: no per-item shifting.
     fn drain_ready<T: Copy>(
         net: &mut Vec<InFlight<T>>,
         now: Cycle,
         mut sink: impl FnMut(T) -> bool,
     ) {
-        let mut i = 0;
-        while i < net.len() {
-            if net[i].ready <= now && sink(net[i].item) {
-                net.remove(i);
-            } else {
-                i += 1;
+        let mut w = 0;
+        for r in 0..net.len() {
+            let it = net[r];
+            if it.ready <= now && sink(it.item) {
+                continue; // consumed
             }
+            net[w] = it;
+            w += 1;
         }
+        net.truncate(w);
     }
 
     /// Like [`drain_ready`](Self::drain_ready) but moves at most one item.
@@ -717,6 +806,58 @@ impl MomsSystem {
         }
     }
 
+    /// Earliest future cycle at which this MOMS can change observable
+    /// state: a bank's own next event, a network item maturing (gated for
+    /// line responses by the width-limited link), or queued/stashed items
+    /// a tick would move. `None` when fully quiescent — outstanding
+    /// misses then wait solely on DRAM, whose completions are the
+    /// caller's events.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // `now + 1` is the floor of every merged value, so once any
+        // source reports it the min cannot improve: return immediately
+        // and spare the per-bank probes.
+        if self.pe_req.iter().any(|q| !q.is_empty())
+            || self.pe_resp.iter().any(|q| !q.is_empty())
+            || self.dram_stash.iter().any(|s| !s.is_empty())
+        {
+            return Some(now + 1);
+        }
+        let mut next: Option<Cycle> = None;
+        let mut merge = |c: Cycle| {
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            c <= now + 1
+        };
+        for b in self.private.iter().chain(self.shared.iter()) {
+            if let Some(c) = b.next_event(now) {
+                if merge(c) {
+                    return next;
+                }
+            }
+        }
+        for net in self.req_net.iter() {
+            for it in net {
+                if merge(it.ready.max(now + 1)) {
+                    return next;
+                }
+            }
+        }
+        for net in self.resp_net.iter() {
+            for it in net {
+                if merge(it.ready.max(now + 1)) {
+                    return next;
+                }
+            }
+        }
+        for (pe, net) in self.line_net.iter().enumerate() {
+            for it in net {
+                if merge(it.ready.max(self.link_free[pe]).max(now + 1)) {
+                    return next;
+                }
+            }
+        }
+        next
+    }
+
     /// `true` when every queue, network, and bank is drained.
     pub fn is_idle(&self) -> bool {
         self.pe_req.iter().all(|q| q.is_empty())
@@ -733,9 +874,15 @@ impl MomsSystem {
     /// combined `cache_probe_hits`/`cache_probe_misses` across both levels
     /// (the hit-rate definition of Fig. 12).
     pub fn stats(&self) -> Stats {
-        let mut s = self.stats.clone();
+        let mut s = Stats::new();
+        if self.n_dram_line_requests > 0 {
+            s.add("dram_line_requests", self.n_dram_line_requests);
+        }
+        if self.n_dram_transactions > 0 {
+            s.add("dram_transactions", self.n_dram_transactions);
+        }
         for b in self.private.iter().chain(self.shared.iter()) {
-            s.merge(b.stats());
+            s.merge(&b.stats());
         }
         let snap = self.snapshot();
         s.add("cache_probe_hits", snap.banks.cache_hits);

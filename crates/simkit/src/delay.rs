@@ -34,7 +34,9 @@ impl<T> DelayLine<T> {
         DelayLine {
             latency,
             cap: None,
-            items: VecDeque::new(),
+            // Head room so typical occupancies never grow the buffer on
+            // the hot path; unbounded lines may still grow past this.
+            items: VecDeque::with_capacity(16),
         }
     }
 
@@ -48,7 +50,7 @@ impl<T> DelayLine<T> {
         DelayLine {
             latency,
             cap: Some(cap),
-            items: VecDeque::new(),
+            items: VecDeque::with_capacity(cap),
         }
     }
 
@@ -103,6 +105,12 @@ impl<T> DelayLine<T> {
             Some((ready, t)) if *ready <= now => Some(t),
             _ => None,
         }
+    }
+
+    /// Cycle at which the oldest in-flight item matures, if any. Idle
+    /// skipping uses this as the line's next-event time.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.items.front().map(|(ready, _)| *ready)
     }
 }
 

@@ -1,7 +1,5 @@
 //! Bounded two-phase FIFOs.
 
-use std::collections::VecDeque;
-
 /// Error returned by [`Fifo::push`] when the queue (including staged items)
 /// is at capacity.
 ///
@@ -26,6 +24,11 @@ impl<T: std::fmt::Debug> std::error::Error for PushError<T> {}
 /// items, so a full FIFO exerts backpressure immediately, like a hardware
 /// FIFO whose `ready` deasserts when full.
 ///
+/// The storage is a fixed ring buffer allocated once at construction:
+/// staged items live in the same ring directly behind the visible ones, so
+/// [`tick`](Fifo::tick) is a counter update — the steady-state path never
+/// allocates or moves items.
+///
 /// # Example
 ///
 /// ```
@@ -38,9 +41,14 @@ impl<T: std::fmt::Debug> std::error::Error for PushError<T> {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fifo<T> {
-    cap: usize,
-    live: VecDeque<T>,
-    staged: VecDeque<T>,
+    /// Ring storage, exactly `capacity` slots.
+    buf: Box<[Option<T>]>,
+    /// Index of the oldest visible item.
+    head: usize,
+    /// Number of visible items (starting at `head`).
+    live: usize,
+    /// Number of staged items (directly behind the visible ones).
+    staged: usize,
 }
 
 impl<T> Fifo<T> {
@@ -52,35 +60,52 @@ impl<T> Fifo<T> {
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "fifo capacity must be nonzero");
         Fifo {
-            cap,
-            live: VecDeque::new(),
-            staged: VecDeque::new(),
+            buf: (0..cap).map(|_| None).collect(),
+            head: 0,
+            live: 0,
+            staged: 0,
+        }
+    }
+
+    /// Ring index of the `i`-th item after `head` (`i < capacity`).
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        let idx = self.head + i;
+        if idx >= self.buf.len() {
+            idx - self.buf.len()
+        } else {
+            idx
         }
     }
 
     /// Total number of items, visible and staged.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.live.len() + self.staged.len()
+        self.live + self.staged
     }
 
     /// `true` when no items are present at all.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// `true` when a push this cycle would succeed.
+    #[inline]
     pub fn can_push(&self) -> bool {
-        self.len() < self.cap
+        self.len() < self.buf.len()
     }
 
     /// Number of free slots.
+    #[inline]
     pub fn free(&self) -> usize {
-        self.cap - self.len()
+        self.buf.len() - self.len()
     }
 
     /// Capacity this FIFO was created with.
+    #[inline]
     pub fn capacity(&self) -> usize {
-        self.cap
+        self.buf.len()
     }
 
     /// Stages `item` for delivery next cycle.
@@ -90,7 +115,10 @@ impl<T> Fifo<T> {
     /// Returns [`PushError`] carrying the item back if the FIFO is full.
     pub fn push(&mut self, item: T) -> Result<(), PushError<T>> {
         if self.can_push() {
-            self.staged.push_back(item);
+            let slot = self.slot(self.len());
+            debug_assert!(self.buf[slot].is_none());
+            self.buf[slot] = Some(item);
+            self.staged += 1;
             Ok(())
         } else {
             Err(PushError(item))
@@ -99,33 +127,78 @@ impl<T> Fifo<T> {
 
     /// Removes and returns the oldest *visible* item.
     pub fn pop(&mut self) -> Option<T> {
-        self.live.pop_front()
+        if self.live == 0 {
+            return None;
+        }
+        let item = self.buf[self.head].take();
+        debug_assert!(item.is_some());
+        self.head = self.slot(1);
+        self.live -= 1;
+        item
     }
 
     /// Borrows the oldest visible item without removing it.
     pub fn peek(&self) -> Option<&T> {
-        self.live.front()
+        if self.live == 0 {
+            None
+        } else {
+            self.buf[self.head].as_ref()
+        }
     }
 
     /// Number of items currently visible to `pop`.
+    #[inline]
     pub fn visible_len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
-    /// Advances one clock cycle: staged items become visible.
+    /// Advances one clock cycle: staged items become visible. O(1).
+    #[inline]
     pub fn tick(&mut self) {
-        self.live.append(&mut self.staged);
+        self.live += self.staged;
+        self.staged = 0;
     }
 
     /// Removes every item, visible and staged.
     pub fn clear(&mut self) {
-        self.live.clear();
-        self.staged.clear();
+        for slot in self.buf.iter_mut() {
+            *slot = None;
+        }
+        self.head = 0;
+        self.live = 0;
+        self.staged = 0;
+    }
+
+    /// Removes and returns the `i`-th *visible* item, preserving the
+    /// relative order of everything else (the DRAM scheduler's
+    /// out-of-order pick). O(i) item moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= visible_len()`.
+    pub fn remove_visible(&mut self, i: usize) -> T {
+        assert!(i < self.live, "remove_visible past the visible region");
+        let item = self.buf[self.slot(i)].take();
+        // Shift the items in front of the hole back by one slot, then
+        // advance head: the younger side (usually the long one in a
+        // scheduler window) never moves.
+        for j in (1..=i).rev() {
+            let src = self.slot(j - 1);
+            let dst = self.slot(j);
+            self.buf[dst] = self.buf[src].take();
+        }
+        self.head = self.slot(1);
+        self.live -= 1;
+        item.expect("visible slot holds an item")
     }
 
     /// Iterates over visible items, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.live.iter()
+        (0..self.live).map(|i| {
+            self.buf[self.slot(i)]
+                .as_ref()
+                .expect("visible slot holds an item")
+        })
     }
 }
 
@@ -197,5 +270,54 @@ mod tests {
         f.push(9).unwrap();
         assert_eq!(f.free(), 2);
         assert_eq!(f.capacity(), 3);
+    }
+
+    #[test]
+    fn ring_wraps_across_many_cycles() {
+        // Push/pop through several times the capacity so head wraps.
+        let mut f = Fifo::new(3);
+        let mut next = 0u32;
+        for expect in 0..50u32 {
+            while f.push(next).is_ok() {
+                next += 1;
+            }
+            f.tick();
+            assert_eq!(f.pop(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn remove_visible_preserves_order() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        f.tick();
+        assert_eq!(f.remove_visible(2), 2);
+        assert_eq!(f.remove_visible(0), 0);
+        let rest: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(rest, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn remove_visible_interacts_with_staged_items() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.tick();
+        f.push(3).unwrap(); // staged behind the visible region
+        assert_eq!(f.remove_visible(1), 2);
+        assert_eq!(f.pop(), Some(1));
+        f.tick();
+        assert_eq!(f.pop(), Some(3));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "visible region")]
+    fn remove_visible_rejects_staged_index() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap(); // staged, not visible
+        f.remove_visible(0);
     }
 }

@@ -83,7 +83,9 @@ impl<T> CrossingLink<T> {
         CrossingLink {
             stage_a: None,
             stage_b: None,
-            queue: VecDeque::new(),
+            // Occupancy is bounded by `queue_slots`, so reserving up front
+            // keeps the steady-state tick path free of allocations.
+            queue: VecDeque::with_capacity(queue_slots),
             queue_slots,
             ready_b: true,
             ready_a: true,
@@ -128,6 +130,18 @@ impl<T> CrossingLink<T> {
     /// `true` when no token is in flight or queued.
     pub fn is_empty(&self) -> bool {
         self.stage_a.is_none() && self.stage_b.is_none() && self.queue.is_empty()
+    }
+
+    /// `true` when a [`tick`](Self::tick) would leave the link bit-for-bit
+    /// unchanged: no token in the crossing registers and the two-deep
+    /// `ready` pipeline already reflects the current queue fill. Idle
+    /// skipping may fast-forward a settled link any number of cycles.
+    pub fn is_settled(&self) -> bool {
+        let receiver_ready = self.queue.len() + 3 <= self.queue_slots;
+        self.stage_a.is_none()
+            && self.stage_b.is_none()
+            && self.ready_a == receiver_ready
+            && self.ready_b == receiver_ready
     }
 
     /// Advances one clock edge on both dies.

@@ -1,13 +1,16 @@
 //! Lightweight named-counter statistics.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A registry of named `u64` counters plus a few derived helpers.
 ///
 /// Components increment counters as events occur; at the end of a run the
 /// harness reads them out to compute hit rates, stall fractions, and
-/// bandwidth. `BTreeMap` keeps reporting order stable.
+/// bandwidth. Counters live in a name-sorted vector — registries are
+/// small (tens of entries), so a binary search beats a tree walk and,
+/// unlike a `String`-keyed map, bumping an existing counter allocates
+/// nothing. This is hot-path code: components charge counters every
+/// simulated cycle.
 ///
 /// # Example
 ///
@@ -21,7 +24,8 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
+    /// `(name, value)` sorted by name.
+    counters: Vec<(Box<str>, u64)>,
 }
 
 impl Stats {
@@ -30,9 +34,17 @@ impl Stats {
         Stats::default()
     }
 
+    fn position(&self, name: &str) -> Result<usize, usize> {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_ref().cmp(name))
+    }
+
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+        match self.position(name) {
+            Ok(i) => self.counters[i].1 += n,
+            Err(i) => self.counters.insert(i, (name.into(), n)),
+        }
     }
 
     /// Increments counter `name` by one.
@@ -42,7 +54,10 @@ impl Stats {
 
     /// Current value of `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        match self.position(name) {
+            Ok(i) => self.counters[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// `a / b` as `f64`; zero when `b` is zero.
@@ -69,13 +84,13 @@ impl Stats {
     /// Merges another registry into this one, summing shared counters.
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            self.add(k, *v);
         }
     }
 
     /// Iterates counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Number of distinct counters.

@@ -1,0 +1,129 @@
+//! Cycle-count pinning: the timing model must be bit-for-bit reproducible.
+//!
+//! A golden table of `(bench, algo, arch) → (total cycles, value hash)`
+//! over the quick-scope matrix is committed as a fixture. Any change to
+//! the simulator that shifts even one cycle anywhere — scheduler order,
+//! queue semantics, DRAM timing, idle skipping — fails this suite, so
+//! host-side performance work cannot silently alter simulated behaviour.
+//! The value hash (FNV-1a over the raw result bits) extends the pin to
+//! the computed values themselves, which certifies bit-identical results
+//! even for PageRank, where golden-executor comparisons are only
+//! ulp-close (see `golden_differential.rs`).
+//!
+//! The table runs the quick-scope benchmarks × architectures × algorithms
+//! at `shrink = 64` (the scale the engine's own tests use) so the whole
+//! matrix stays affordable in debug builds; the timing model exercised is
+//! identical to the full quick sweep's.
+//!
+//! Re-bless after an *intentional* timing change with:
+//!
+//! ```text
+//! REPRO_BLESS_CYCLES=1 cargo test -p bench --test cycle_pinning
+//! ```
+
+use std::fmt::Write as _;
+
+use accel::System;
+use bench::experiments::Scope;
+use bench::RunSpec;
+use graph::benchmarks::BenchmarkId;
+use graph::reorder::Preprocess;
+
+const GOLDEN_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden_cycles.txt"
+);
+
+/// Shrink factor for the pinning matrix (smaller graphs than the quick
+/// sweep's 4, same timing model).
+const PIN_SHRINK: u64 = 64;
+
+/// FNV-1a over the raw little-endian value bits.
+fn fnv1a(values: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Renders the golden table: one `bench,algo,arch,cycles,values_fnv` line
+/// per point of the quick-scope matrix, in deterministic enumeration
+/// order.
+fn render_table() -> String {
+    let scope = Scope::quick();
+    let mut out = String::from("bench,algo,arch,cycles,values_fnv\n");
+    for bench in scope.benches() {
+        for (algo, iters) in scope.algos() {
+            let g =
+                bench::prepare_graph(bench, Preprocess::DbgHash, PIN_SHRINK, algo.is_weighted());
+            for arch in scope.archs() {
+                let mut spec = RunSpec::new(arch);
+                spec.shrink = PIN_SHRINK;
+                spec.max_iterations = iters;
+                let (cfg, partitioner) = spec.run_config().build();
+                let result = System::new(&g, partitioner, algo, cfg).run();
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:016x}",
+                    bench.tag(),
+                    algo.name(),
+                    arch.name,
+                    result.cycles,
+                    fnv1a(&result.values)
+                );
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn quick_scope_cycle_counts_are_pinned() {
+    let got = render_table();
+    if std::env::var_os("REPRO_BLESS_CYCLES").is_some() {
+        std::fs::write(GOLDEN_FIXTURE, &got).expect("bless cycle fixture");
+        eprintln!("blessed {GOLDEN_FIXTURE}");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_FIXTURE)
+        .expect("missing fixture; run with REPRO_BLESS_CYCLES=1 to create it");
+    if got != want {
+        // Diff line by line so a drift names the exact points that moved.
+        let mut diffs = String::new();
+        for (g, w) in got.lines().zip(want.lines()) {
+            if g != w {
+                let _ = writeln!(diffs, "  got {g}\n want {w}");
+            }
+        }
+        panic!(
+            "simulated cycle counts drifted from tests/fixtures/golden_cycles.txt:\n{diffs}\
+             if the timing change is intentional, re-bless with REPRO_BLESS_CYCLES=1"
+        );
+    }
+}
+
+/// The fixture itself must cover the full quick-scope matrix — guards
+/// against a blessed run that silently skipped points.
+#[test]
+fn fixture_covers_the_quick_matrix() {
+    if std::env::var_os("REPRO_BLESS_CYCLES").is_some() {
+        return; // the pinning test is writing a fresh fixture
+    }
+    let scope = Scope::quick();
+    let want_rows = scope.benches().len() * scope.algos().len() * scope.archs().len();
+    let fixture = std::fs::read_to_string(GOLDEN_FIXTURE)
+        .expect("missing fixture; run with REPRO_BLESS_CYCLES=1 to create it");
+    assert_eq!(
+        fixture.lines().count(),
+        want_rows + 1, // header
+        "fixture row count does not match the quick-scope matrix"
+    );
+    assert!(BenchmarkId::QUICK.iter().all(|b| fixture.contains(b.tag())));
+    for algo in ["pagerank", "scc", "sssp"] {
+        assert!(fixture.contains(algo), "fixture missing {algo}");
+    }
+}

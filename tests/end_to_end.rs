@@ -35,6 +35,7 @@ fn config(topology: Topology, pes: usize, channels: usize) -> SystemConfig {
         fault: simkit::FaultConfig::none(),
         trace: simkit::TraceConfig::default(),
         watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
+        idle_skip: true,
     }
 }
 

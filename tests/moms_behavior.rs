@@ -235,6 +235,7 @@ fn convergence_tracking_skips_inactive_work() {
         fault: simkit::FaultConfig::none(),
         trace: simkit::TraceConfig::default(),
         watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
+        idle_skip: true,
     };
     let r = System::new(&g, Partitioner::new(128, 128), Algorithm::bfs(0), cfg).run();
     assert!(

@@ -60,6 +60,7 @@ fn small_config() -> SystemConfig {
         fault: simkit::FaultConfig::none(),
         trace: simkit::TraceConfig::default(),
         watchdog_cycles: Some(accel::DEFAULT_WATCHDOG_CYCLES),
+        idle_skip: true,
     }
 }
 
