@@ -19,10 +19,11 @@
 //! ```
 
 use algos::Algorithm;
-use graph::{CooGraph, Partitioner};
+use graph::CooGraph;
 use moms::{MomsConfig, MomsSystemConfig, Topology};
 
-use crate::config::{ExecutionMode, SystemConfig};
+use crate::config::ExecutionMode;
+use crate::fabric::{Fabric, FabricRunResult, LinkConfig, LinkTopology};
 use crate::run_config::{CacheVariant, RunConfig};
 use crate::system::{RunResult, System};
 
@@ -30,7 +31,7 @@ use crate::system::{RunResult, System};
 ///
 /// Defaults: two-level MOMS, 4 PEs, 2 channels, automatically sized
 /// intervals (destination intervals chosen so jobs outnumber PEs ~16×),
-/// paper-ratio bank capacities.
+/// paper-ratio bank capacities, one device (no fabric).
 #[derive(Debug, Clone)]
 pub struct Driver {
     pes: usize,
@@ -40,6 +41,8 @@ pub struct Driver {
     max_iterations: Option<u32>,
     nd_override: Option<u32>,
     cacheless: bool,
+    devices: usize,
+    link: LinkConfig,
 }
 
 impl Default for Driver {
@@ -59,6 +62,8 @@ impl Driver {
             max_iterations: None,
             nd_override: None,
             cacheless: false,
+            devices: 1,
+            link: LinkConfig::default(),
         }
     }
 
@@ -111,6 +116,46 @@ impl Driver {
         self
     }
 
+    /// Number of fabric devices (default 1: plain single-`System` run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn devices(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one device");
+        self.devices = n;
+        self
+    }
+
+    /// Replaces the whole inter-accelerator link configuration.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Link wiring between devices (default: all-to-all).
+    pub fn link_topology(mut self, t: LinkTopology) -> Self {
+        self.link.topology = t;
+        self
+    }
+
+    /// Per-link serialization bandwidth in words/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is zero.
+    pub fn link_bandwidth(mut self, w: u32) -> Self {
+        assert!(w > 0, "link bandwidth must be nonzero");
+        self.link.bandwidth_words_per_cycle = w;
+        self
+    }
+
+    /// Per-hop link flight latency in cycles.
+    pub fn link_latency(mut self, c: u64) -> Self {
+        self.link.latency = c;
+        self
+    }
+
     /// Destination interval size chosen for `n` nodes: jobs ≈ 16× PEs,
     /// clamped to a sane power-of-two range.
     fn auto_nd(&self, n: u32) -> u32 {
@@ -153,23 +198,39 @@ impl Driver {
         }
         rc.execution = self.execution;
         rc.max_iterations = self.max_iterations;
+        rc.devices = self.devices;
+        rc.link = self.link;
         rc
     }
 
-    /// Builds the [`SystemConfig`] this driver would use for `g`.
-    pub fn config(&self, g: &CooGraph) -> (SystemConfig, Partitioner) {
-        self.run_config(g).build()
-    }
-
-    /// Runs `algo` on `g` and returns the result.
+    /// Runs `algo` on `g` on one device and returns the result.
     ///
     /// # Panics
     ///
-    /// Panics if a weighted algorithm is run on an unweighted graph, or
-    /// the graph's intervals exceed hardware limits.
+    /// Panics if a weighted algorithm is run on an unweighted graph, the
+    /// graph's intervals exceed hardware limits, or more than one device
+    /// was configured (use [`run_fabric`](Self::run_fabric) for
+    /// multi-device runs).
     pub fn run(&self, g: &CooGraph, algo: Algorithm) -> RunResult {
-        let (cfg, partitioner) = self.config(g);
+        assert_eq!(
+            self.devices, 1,
+            "Driver::run is the single-device path; use Driver::run_fabric \
+             for a {}-device fabric",
+            self.devices
+        );
+        let (cfg, partitioner) = self.run_config(g).build();
         System::new(g, partitioner, algo, cfg).run()
+    }
+
+    /// Runs `algo` on `g` across the configured fabric (any device count,
+    /// including 1) and returns the fabric result.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run), or if a
+    /// device or the link exchange stalls.
+    pub fn run_fabric(&self, g: &CooGraph, algo: Algorithm) -> FabricRunResult {
+        Fabric::new(g, algo, &self.run_config(g)).run()
     }
 }
 
@@ -207,7 +268,10 @@ mod tests {
     #[test]
     fn nd_override_is_respected() {
         let g = GraphSpec::rmat(8, 4).build(93);
-        let (cfg, p) = Driver::new().destination_interval(128).config(&g);
+        let (cfg, p) = Driver::new()
+            .destination_interval(128)
+            .run_config(&g)
+            .build();
         assert_eq!(p.nd(), 128);
         assert_eq!(cfg.pe.bram_nodes, 128);
     }
@@ -215,7 +279,7 @@ mod tests {
     #[test]
     fn cacheless_builder_strips_arrays() {
         let g = GraphSpec::rmat(8, 4).build(95);
-        let (cfg, _) = Driver::new().cacheless().config(&g);
+        let (cfg, _) = Driver::new().cacheless().run_config(&g).build();
         assert!(cfg.moms.shared.cache.is_none());
         assert!(cfg.moms.private.cache.is_none());
     }

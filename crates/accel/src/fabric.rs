@@ -1,0 +1,842 @@
+//! Multi-accelerator fabric: sharded scale-out simulation with an
+//! inter-accelerator network model.
+//!
+//! A [`Fabric`] instantiates N independent [`System`] devices, each owning
+//! a contiguous, interval-aligned slice of the node-id space (see
+//! [`DeviceMap`]): a device holds *all* in-edges of its owned
+//! destinations, so every vertex's reduction runs on exactly one device.
+//! The monotone algorithms (BFS, SSSP, SCC) therefore reach exactly the
+//! single-device fixpoint on any device count; PageRank stays within an
+//! ulp of the golden executor, because a PE gathers its f32 contributions
+//! in MOMS response-arrival order, which shifts with timing just as it
+//! does under the DRAM fault profiles.
+//!
+//! Execution is globally synchronous (the paper's synchronous mode,
+//! Template 1): every iteration, all devices run their local shards
+//! unmodified, meet at a barrier, and exchange the vertex values that
+//! changed over a cycle-level link network — ring or all-to-all topology,
+//! configurable per-link bandwidth in words/cycle and per-hop latency,
+//! built on [`simkit::Fifo`] two-phase queues. Devices that finish their
+//! compute phase early (or had no local work) park at the barrier; the gap
+//! is attributed to the `link_wait` class of
+//! [`PeCycleBreakdown`](crate::PeCycleBreakdown), which `repro explain`
+//! renders as the Link section.
+//!
+//! A [`FaultInjector`] sits on the delivery path of the link network and a
+//! fabric-level [`Watchdog`] covers the exchange, so black-hole and delay
+//! profiles exercise the network exactly like the DRAM-side machinery: a
+//! lossy link starves the barrier of expected messages and trips the
+//! watchdog with per-link [`DiagnosticSection`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::fabric::Fabric;
+//! use accel::Driver;
+//! use algos::{golden, Algorithm};
+//! use graph::GraphSpec;
+//!
+//! let g = GraphSpec::rmat(8, 4).build(11);
+//! let rc = Driver::new().devices(2).run_config(&g);
+//! let r = Fabric::new(&g, Algorithm::bfs(0), &rc).run();
+//! assert_eq!(r.values, golden::run(&Algorithm::bfs(0), &g));
+//! ```
+
+use std::collections::VecDeque;
+use std::str::FromStr;
+use std::time::Instant;
+
+use algos::Algorithm;
+use graph::partition::DeviceMap;
+use graph::CooGraph;
+use simkit::trace::{merge_events, EventKind, TraceConfig, TraceReport, Tracer, Track};
+use simkit::watchdog::{DiagnosticSection, DiagnosticSnapshot};
+use simkit::{Cycle, FaultConfig, FaultInjector, Fifo, Stats, Watchdog};
+
+use crate::config::{ExecutionMode, DEFAULT_WATCHDOG_CYCLES};
+use crate::pe::PeCycleBreakdown;
+use crate::run_config::RunConfig;
+use crate::system::{RunError, System};
+
+/// How the devices are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkTopology {
+    /// Every ordered device pair has a dedicated direct link.
+    #[default]
+    AllToAll,
+    /// A unidirectional ring: device `i` links only to `(i + 1) % n`;
+    /// messages store-and-forward through intermediate devices.
+    Ring,
+}
+
+impl LinkTopology {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkTopology::AllToAll => "all-to-all",
+            LinkTopology::Ring => "ring",
+        }
+    }
+}
+
+impl FromStr for LinkTopology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "all-to-all" => Ok(LinkTopology::AllToAll),
+            "ring" => Ok(LinkTopology::Ring),
+            other => Err(format!(
+                "unknown link topology {other:?} (expected all-to-all|ring)"
+            )),
+        }
+    }
+}
+
+/// Configuration of the inter-accelerator link network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// How devices are wired.
+    pub topology: LinkTopology,
+    /// Per-link serialization bandwidth in 32-bit words per cycle.
+    pub bandwidth_words_per_cycle: u32,
+    /// Per-hop flight latency in cycles, paid after serialization.
+    pub latency: Cycle,
+    /// Fixed header words charged per message on every traversed link.
+    pub header_words: u32,
+    /// Per-link input queue depth in messages (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Fault schedule applied on the delivery path of every message.
+    pub fault: FaultConfig,
+    /// No-progress threshold for the exchange phase; `None` disables the
+    /// fabric watchdog.
+    pub watchdog_cycles: Option<Cycle>,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            topology: LinkTopology::AllToAll,
+            bandwidth_words_per_cycle: 4,
+            latency: 32,
+            header_words: 2,
+            queue_capacity: 64,
+            fault: FaultConfig::none(),
+            watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Panics unless the configuration is usable.
+    pub fn validate(&self) {
+        assert!(
+            self.bandwidth_words_per_cycle > 0,
+            "link bandwidth must be nonzero"
+        );
+        assert!(
+            self.queue_capacity > 0,
+            "link queue capacity must be nonzero"
+        );
+    }
+}
+
+/// One batched vertex-update message between two devices.
+#[derive(Debug, Clone)]
+pub struct LinkMessage {
+    /// Originating device.
+    pub src: usize,
+    /// Owning consumer device the updates are destined for.
+    pub dst: usize,
+    /// `(vertex, raw value)` updates carried by this message.
+    pub updates: Vec<(u32, u32)>,
+    /// Last link index this message traversed (for trace attribution).
+    last_link: usize,
+}
+
+impl LinkMessage {
+    /// Message size in 32-bit words on the wire: header plus two words
+    /// per update.
+    pub fn words(&self, header_words: u32) -> u64 {
+        header_words as u64 + 2 * self.updates.len() as u64
+    }
+}
+
+/// One directed physical link of the network.
+#[derive(Debug)]
+struct LinkState {
+    from: usize,
+    to: usize,
+    /// Input queue at the transmitting side (two-phase, bounded).
+    q: Fifo<LinkMessage>,
+    /// Cycle at which the in-progress serialization completes.
+    busy_until: Cycle,
+    /// Serialized messages in flight, `(arrival cycle, message)`;
+    /// arrival times are monotone because serialization is serial.
+    inflight: VecDeque<(Cycle, LinkMessage)>,
+    busy_cycles: u64,
+    words: u64,
+    messages: u64,
+    tracer: Tracer,
+}
+
+impl LinkState {
+    fn idle(&self) -> bool {
+        self.q.is_empty() && self.inflight.is_empty()
+    }
+
+    fn diagnostic(&self, i: usize) -> DiagnosticSection {
+        let mut s = DiagnosticSection::new(format!("link[{i}]"));
+        s.push("route", format!("{} -> {}", self.from, self.to));
+        s.push("queued", self.q.len());
+        s.push("inflight", self.inflight.len());
+        s.push("messages", self.messages);
+        s.push("words", self.words);
+        s.push("busy_cycles", self.busy_cycles);
+        s
+    }
+}
+
+/// Cumulative statistics of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Transmitting device.
+    pub from: usize,
+    /// Receiving device.
+    pub to: usize,
+    /// Cycles the link spent serializing.
+    pub busy_cycles: u64,
+    /// Words transferred.
+    pub words: u64,
+    /// Messages transferred.
+    pub messages: u64,
+}
+
+/// Aggregated link-network statistics of one fabric run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkNetworkStats {
+    /// Wiring in effect.
+    pub topology: LinkTopology,
+    /// Total cycles spent in exchange phases (the barrier-to-barrier link
+    /// time added on top of compute).
+    pub exchange_cycles: Cycle,
+    /// Messages injected by owner devices (before store-and-forward).
+    pub messages_sent: u64,
+    /// Messages delivered to their final consumer.
+    pub messages_delivered: u64,
+    /// Messages dropped by the link fault injector.
+    pub messages_dropped: u64,
+    /// Vertex updates carried (each is two payload words).
+    pub updates: u64,
+    /// Per-directed-link cumulative statistics.
+    pub per_link: Vec<LinkStats>,
+}
+
+impl LinkNetworkStats {
+    /// Mean busy fraction over all links, relative to `total_cycles` of
+    /// the run. Zero for a single-device fabric (no links).
+    pub fn mean_occupancy(&self, total_cycles: Cycle) -> f64 {
+        if self.per_link.is_empty() || total_cycles == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.per_link.iter().map(|l| l.busy_cycles).sum();
+        busy as f64 / (self.per_link.len() as u64 * total_cycles) as f64
+    }
+
+    /// Busiest single link's busy fraction relative to `total_cycles`.
+    pub fn peak_occupancy(&self, total_cycles: Cycle) -> f64 {
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        self.per_link
+            .iter()
+            .map(|l| l.busy_cycles as f64 / total_cycles as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Result of a completed fabric run.
+#[derive(Debug)]
+pub struct FabricRunResult {
+    /// Total simulated cycles (all device clocks agree at the end).
+    pub cycles: Cycle,
+    /// Globally synchronous iterations executed.
+    pub iterations: u32,
+    /// Edges processed, summed over devices.
+    pub edges_processed: u64,
+    /// Final per-node values, assembled from each owner device.
+    pub values: Vec<u32>,
+    /// Number of devices in the fabric.
+    pub devices: usize,
+    /// Merged statistics from every device.
+    pub stats: Stats,
+    /// PE cycle attribution summed over every device's PEs, including the
+    /// fabric-only `link_wait` class.
+    pub pe_cycles: PeCycleBreakdown,
+    /// Link-network statistics.
+    pub link: LinkNetworkStats,
+    /// Link-track event stream (device-internal traces are not merged:
+    /// track ids would collide across devices).
+    pub trace: TraceReport,
+}
+
+impl FabricRunResult {
+    /// Throughput in edges per cycle.
+    pub fn edges_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.edges_processed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Throughput in GTEPS at the given clock frequency.
+    pub fn gteps(&self, freq_mhz: f64) -> f64 {
+        self.edges_per_cycle() * freq_mhz / 1000.0
+    }
+}
+
+/// Why a fabric run terminated without a result.
+#[derive(Debug)]
+pub enum FabricError {
+    /// The host wall-clock deadline expired mid-run.
+    TimedOut,
+    /// A device's own no-progress watchdog tripped during its compute
+    /// phase.
+    DeviceStalled {
+        /// Which device stalled.
+        device: usize,
+        /// The device's diagnostic dump.
+        snapshot: Box<DiagnosticSnapshot>,
+    },
+    /// The link exchange made no progress for the fabric watchdog
+    /// threshold (e.g. a black-hole link fault starving the barrier).
+    LinkStalled(Box<DiagnosticSnapshot>),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::TimedOut => write!(f, "wall-clock deadline expired"),
+            FabricError::DeviceStalled { device, snapshot } => {
+                write!(f, "device {device} stalled: {snapshot}")
+            }
+            FabricError::LinkStalled(snapshot) => {
+                write!(f, "link exchange stalled: {snapshot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// N sharded [`System`] devices joined by a cycle-level link network.
+#[derive(Debug)]
+pub struct Fabric {
+    devices: Vec<System>,
+    map: DeviceMap,
+    algo: Algorithm,
+    link_cfg: LinkConfig,
+    links: Vec<LinkState>,
+    /// Host-side mirror of the globally consistent `V_in` values; the
+    /// per-iteration diff against it yields the remote updates.
+    mirror: Vec<u32>,
+    qs: usize,
+    max_iter: u32,
+    fault: FaultInjector<LinkMessage>,
+    /// Cumulative exchange-phase cycles.
+    exchange_cycles: Cycle,
+    messages_sent: u64,
+    messages_delivered: u64,
+    updates_total: u64,
+    trace_cfg: TraceConfig,
+}
+
+impl Fabric {
+    /// Builds a fabric of `rc.devices` devices for `g`, forcing the
+    /// paper's synchronous execution mode globally (the barrier protocol
+    /// requires it; a synchronous single-device run is the `devices = 1`
+    /// special case and stays cycle-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run or link configuration is invalid.
+    pub fn new(g: &CooGraph, algo: Algorithm, rc: &RunConfig) -> Self {
+        let n = rc.devices.max(1);
+        rc.link.validate();
+        let mut dev_rc = rc.clone();
+        dev_rc.execution = ExecutionMode::ForceSynchronous;
+        let (cfg, partitioner) = dev_rc.build();
+        let map = DeviceMap::new(partitioner, g.num_nodes(), n);
+        let devices: Vec<System> = (0..n)
+            .map(|dev| {
+                let local = map.extract_local(g, dev);
+                System::new_sharded(g, &local, partitioner, algo, cfg.clone())
+            })
+            .collect();
+        let mirror: Vec<u32> = (0..g.num_nodes())
+            .map(|v| devices[0].read_node_in(v))
+            .collect();
+        let qs = devices[0].num_source_intervals();
+        let max_iter = devices[0].resolved_max_iterations();
+        let links = Self::build_links(n, &rc.link, &rc.trace);
+        Fabric {
+            qs,
+            max_iter,
+            devices,
+            map,
+            algo,
+            link_cfg: rc.link,
+            links,
+            mirror,
+            fault: FaultInjector::new(rc.link.fault),
+            exchange_cycles: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            updates_total: 0,
+            trace_cfg: rc.trace,
+        }
+    }
+
+    fn build_links(n: usize, cfg: &LinkConfig, trace: &TraceConfig) -> Vec<LinkState> {
+        let mut links = Vec::new();
+        if n < 2 {
+            return links;
+        }
+        let mut mk = |from: usize, to: usize| {
+            let i = links.len();
+            links.push(LinkState {
+                from,
+                to,
+                q: Fifo::new(cfg.queue_capacity),
+                busy_until: 0,
+                inflight: VecDeque::new(),
+                busy_cycles: 0,
+                words: 0,
+                messages: 0,
+                tracer: Tracer::for_track(Track::link(i), trace),
+            });
+        };
+        match cfg.topology {
+            LinkTopology::AllToAll => {
+                for from in 0..n {
+                    for to in 0..n {
+                        if from != to {
+                            mk(from, to);
+                        }
+                    }
+                }
+            }
+            LinkTopology::Ring => {
+                for from in 0..n {
+                    mk(from, (from + 1) % n);
+                }
+            }
+        }
+        links
+    }
+
+    /// Index of the link a message waiting at `at` takes toward `dst`.
+    fn route(&self, at: usize, dst: usize) -> usize {
+        let n = self.devices.len();
+        debug_assert!(at != dst);
+        match self.link_cfg.topology {
+            // Links were built from-major with the self-link skipped.
+            LinkTopology::AllToAll => at * (n - 1) + if dst > at { dst - 1 } else { dst },
+            LinkTopology::Ring => at,
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device-ownership map in effect.
+    pub fn device_map(&self) -> &DeviceMap {
+        &self.map
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered diagnostics if a device or the link
+    /// exchange stalls; use [`run_to_outcome`](Self::run_to_outcome) to
+    /// handle stalls programmatically.
+    pub fn run(&mut self) -> FabricRunResult {
+        match self.run_to_outcome(None) {
+            Ok(r) => r,
+            Err(FabricError::TimedOut) => {
+                unreachable!("run without a deadline cannot time out")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs to completion, reporting timeouts and stalls as structured
+    /// [`FabricError`]s.
+    ///
+    /// After any `Err` the partially simulated state is inconsistent; do
+    /// not run the same instance again.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::TimedOut`] when the host wall clock passes
+    /// `deadline`; [`FabricError::DeviceStalled`] /
+    /// [`FabricError::LinkStalled`] when a watchdog trips.
+    pub fn run_to_outcome(
+        &mut self,
+        deadline: Option<Instant>,
+    ) -> Result<FabricRunResult, FabricError> {
+        let n = self.devices.len();
+        let mut active = vec![true; self.qs];
+        let mut iterations = 0u32;
+        let mut edges_per_device = vec![0u64; n];
+        let mut stepped = vec![false; n];
+
+        while iterations < self.max_iter {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(FabricError::TimedOut);
+                }
+            }
+            // Compute phase: every device publishes the same global active
+            // flags, schedules its local jobs, and runs its iteration
+            // unmodified.
+            let mut total_jobs = 0usize;
+            for (i, dev) in self.devices.iter_mut().enumerate() {
+                let jobs = dev.begin_iteration(iterations, &active);
+                stepped[i] = jobs > 0;
+                total_jobs += jobs;
+            }
+            if total_jobs == 0 {
+                break;
+            }
+            for (i, dev) in self.devices.iter_mut().enumerate() {
+                if !stepped[i] {
+                    continue;
+                }
+                edges_per_device[i] +=
+                    dev.step_iteration(iterations, deadline)
+                        .map_err(|e| match e {
+                            RunError::TimedOut => FabricError::TimedOut,
+                            RunError::Stalled(snapshot) => FabricError::DeviceStalled {
+                                device: i,
+                                snapshot,
+                            },
+                        })?;
+            }
+            iterations += 1;
+
+            // Global Template-1 control: OR over the devices that ran.
+            let cont = self.algo.always_active()
+                || (0..n).any(|i| stepped[i] && self.devices[i].continues());
+            if !cont || iterations >= self.max_iter {
+                break;
+            }
+            let mut next = vec![self.algo.always_active(); self.qs];
+            if !self.algo.always_active() {
+                for (dev, &ran) in self.devices.iter().zip(&stepped) {
+                    if !ran {
+                        continue;
+                    }
+                    for (f, d) in next.iter_mut().zip(dev.next_active_srcs()) {
+                        *f |= d;
+                    }
+                }
+            }
+
+            // Every device performs the synchronous inter-iteration host
+            // work on its own replica (carry + buffer swap), exactly as
+            // the single-device loop does.
+            for dev in &mut self.devices {
+                dev.advance_synchronous_frontier();
+            }
+
+            // Diff each owner's slice against the global mirror to find
+            // the remote updates this iteration produced.
+            let updates = self.collect_updates();
+
+            // Barrier + link exchange: devices park at the barrier while
+            // the network carries the updates to every consumer replica.
+            let barrier = self.devices.iter().map(System::now).max().unwrap_or(0);
+            let exchange = self.exchange(barrier, updates, deadline)?;
+            self.exchange_cycles += exchange;
+            let resume = barrier + exchange;
+            for dev in &mut self.devices {
+                dev.wait_at_barrier(resume);
+            }
+
+            active = next;
+        }
+
+        // Final barrier: align every device clock so `cycles` is the
+        // global completion time.
+        let end = self.devices.iter().map(System::now).max().unwrap_or(0);
+        for dev in &mut self.devices {
+            dev.wait_at_barrier(end);
+        }
+        Ok(self.finish(iterations, &edges_per_device))
+    }
+
+    /// Per-owner changed `(vertex, value)` lists, updating the mirror.
+    fn collect_updates(&mut self) -> Vec<Vec<(u32, u32)>> {
+        let n = self.devices.len();
+        let mut updates = vec![Vec::new(); n];
+        for (dev, list) in updates.iter_mut().enumerate() {
+            for v in self.map.device_nodes(dev) {
+                let cur = self.devices[dev].read_node_in(v);
+                if cur != self.mirror[v as usize] {
+                    self.mirror[v as usize] = cur;
+                    list.push((v, cur));
+                }
+            }
+        }
+        updates
+    }
+
+    /// Simulates one barrier exchange starting at absolute cycle `start`;
+    /// returns its length in cycles. Updates are applied to every
+    /// consumer replica as their messages are delivered.
+    fn exchange(
+        &mut self,
+        start: Cycle,
+        updates: Vec<Vec<(u32, u32)>>,
+        deadline: Option<Instant>,
+    ) -> Result<Cycle, FabricError> {
+        let n = self.devices.len();
+        if n < 2 {
+            return Ok(0);
+        }
+        // Owner broadcasts: one unicast message per (owner, consumer)
+        // pair; the topology decides the path and cost.
+        let mut outbox: Vec<VecDeque<LinkMessage>> = vec![VecDeque::new(); n];
+        let mut expected = 0u64;
+        for (src, list) in updates.into_iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            self.updates_total += (n as u64 - 1) * list.len() as u64;
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                outbox[src].push_back(LinkMessage {
+                    src,
+                    dst,
+                    updates: list.clone(),
+                    last_link: usize::MAX,
+                });
+                expected += 1;
+            }
+        }
+        self.messages_sent += expected;
+        if expected == 0 {
+            return Ok(0);
+        }
+
+        let mut watchdog = self.link_cfg.watchdog_cycles.map(Watchdog::new);
+        if let Some(w) = &mut watchdog {
+            w.note_progress(start);
+        }
+        let header = self.link_cfg.header_words;
+        let bw = self.link_cfg.bandwidth_words_per_cycle as u64;
+        let latency = self.link_cfg.latency;
+        let mut delivered = 0u64;
+        let mut t: Cycle = 0;
+        loop {
+            let now = start + t;
+
+            // 1. Arrivals: messages whose flight latency elapsed reach the
+            //    link's receiving device — final consumers go through the
+            //    fault injector, intermediates re-enter the router.
+            for li in 0..self.links.len() {
+                while let Some(&(arrive, _)) = self.links[li].inflight.front() {
+                    if arrive > now {
+                        break;
+                    }
+                    let (_, mut msg) = self.links[li].inflight.pop_front().unwrap();
+                    msg.last_link = li;
+                    let at = self.links[li].to;
+                    if msg.dst == at {
+                        let before = self.fault.dropped();
+                        self.fault.offer(now, msg);
+                        if self.fault.dropped() > before {
+                            self.links[li]
+                                .tracer
+                                .event(now, EventKind::LinkDrop, at as u64);
+                        }
+                    } else {
+                        outbox[at].push_back(msg);
+                    }
+                }
+            }
+
+            // 2. Deliveries: apply every update of each released message
+            //    to the consumer's replica.
+            while let Some(msg) = self.fault.pop_ready(now) {
+                let li = msg.last_link;
+                self.links[li]
+                    .tracer
+                    .event(now, EventKind::LinkRx, msg.src as u64);
+                for &(v, val) in &msg.updates {
+                    self.devices[msg.dst].write_node_in(v, val);
+                }
+                delivered += 1;
+                if let Some(w) = &mut watchdog {
+                    w.note_progress(now);
+                }
+            }
+            if delivered == expected {
+                self.messages_delivered += delivered;
+                // The exchange ends one cycle after the last delivery.
+                return Ok(t + 1);
+            }
+
+            // 3. Serialization: an idle link starts transmitting the
+            //    oldest queued message.
+            for link in &mut self.links {
+                if now < link.busy_until || link.q.visible_len() == 0 {
+                    continue;
+                }
+                let msg = link.q.pop().unwrap();
+                let words = msg.words(header);
+                let ser = words.div_ceil(bw).max(1);
+                link.busy_until = now + ser;
+                link.busy_cycles += ser;
+                link.words += words;
+                link.messages += 1;
+                link.tracer.event(now, EventKind::LinkTx, msg.dst as u64);
+                link.inflight.push_back((now + ser + latency, msg));
+            }
+
+            // 4. Routing: devices inject waiting messages into their
+            //    outgoing link queues while there is room (bounded queues
+            //    exert backpressure).
+            for (at, waiting) in outbox.iter_mut().enumerate() {
+                while let Some(front) = waiting.front() {
+                    let li = self.route(at, front.dst);
+                    if !self.links[li].q.can_push() {
+                        break;
+                    }
+                    let msg = waiting.pop_front().unwrap();
+                    self.links[li].q.push(msg).expect("checked can_push");
+                }
+            }
+
+            // 5. Clock edge: staged queue entries become visible.
+            for link in &mut self.links {
+                link.q.tick();
+            }
+
+            if let Some(w) = &watchdog {
+                if w.is_stalled(now) {
+                    return Err(FabricError::LinkStalled(Box::new(
+                        self.link_diagnostics(now, w, expected, delivered),
+                    )));
+                }
+            }
+            if t.is_multiple_of(4096) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(FabricError::TimedOut);
+                    }
+                }
+            }
+            t += 1;
+        }
+    }
+
+    fn link_diagnostics(
+        &self,
+        now: Cycle,
+        watchdog: &Watchdog,
+        expected: u64,
+        delivered: u64,
+    ) -> DiagnosticSnapshot {
+        let mut sections = Vec::new();
+        let mut fabric = DiagnosticSection::new("fabric");
+        fabric.push("devices", self.devices.len());
+        fabric.push("topology", self.link_cfg.topology.name());
+        fabric.push("expected_messages", expected);
+        fabric.push("delivered_messages", delivered);
+        sections.push(fabric);
+        for (i, link) in self.links.iter().enumerate() {
+            if !link.idle() || link.messages > 0 {
+                sections.push(link.diagnostic(i));
+            }
+        }
+        sections.push(self.fault.diagnostic());
+        DiagnosticSnapshot {
+            cycle: now,
+            last_progress: watchdog.last_progress(),
+            threshold: watchdog.threshold(),
+            sections,
+        }
+    }
+
+    /// Assembles the fabric result from every device's finished state.
+    fn finish(&mut self, iterations: u32, edges_per_device: &[u64]) -> FabricRunResult {
+        let n = self.devices.len();
+        let cycles = self.devices.iter().map(System::now).max().unwrap_or(0);
+        let mut values = vec![0u32; self.mirror.len()];
+        let mut stats = Stats::new();
+        let mut pe_cycles = PeCycleBreakdown::default();
+        for (i, dev) in self.devices.iter_mut().enumerate() {
+            let r = dev.finish(iterations, edges_per_device[i]);
+            let nodes = self.map.device_nodes(i);
+            let range = nodes.start as usize..nodes.end as usize;
+            values[range.clone()].copy_from_slice(&r.values[range]);
+            stats.merge(&r.stats);
+            pe_cycles.accumulate(&r.metrics.pe_cycles);
+        }
+        let per_link: Vec<LinkStats> = self
+            .links
+            .iter()
+            .map(|l| LinkStats {
+                from: l.from,
+                to: l.to,
+                busy_cycles: l.busy_cycles,
+                words: l.words,
+                messages: l.messages,
+            })
+            .collect();
+        let dropped_events: u64 = self.links.iter().map(|l| l.tracer.dropped()).sum();
+        let link_events = merge_events(
+            self.links
+                .iter_mut()
+                .map(|l| l.tracer.take())
+                .collect::<Vec<_>>(),
+        );
+        let trace = if self.trace_cfg.records_events() {
+            TraceReport {
+                events: link_events,
+                counters: Vec::new(),
+                dropped: dropped_events,
+                cycles,
+            }
+        } else {
+            TraceReport::default()
+        };
+        FabricRunResult {
+            cycles,
+            iterations,
+            edges_processed: edges_per_device.iter().sum(),
+            values,
+            devices: n,
+            stats,
+            pe_cycles,
+            link: LinkNetworkStats {
+                topology: self.link_cfg.topology,
+                exchange_cycles: self.exchange_cycles,
+                messages_sent: self.messages_sent,
+                messages_delivered: self.messages_delivered,
+                messages_dropped: self.fault.dropped(),
+                updates: self.updates_total,
+                per_link,
+            },
+            trace,
+        }
+    }
+}

@@ -38,12 +38,14 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod config;
 pub mod driver;
+pub mod fabric;
 pub mod pe;
 pub mod run_config;
 pub mod system;
 
 pub use config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 pub use driver::Driver;
+pub use fabric::{Fabric, FabricError, FabricRunResult, LinkConfig, LinkTopology};
 pub use pe::{Pe, PeCycleBreakdown};
 pub use run_config::{CacheVariant, RunConfig};
 pub use system::{MetricsSnapshot, PeStallBreakdown, RunError, RunResult, System};

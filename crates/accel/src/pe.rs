@@ -123,12 +123,22 @@ pub struct PeCycleBreakdown {
     pub stream_dram_wait: u64,
     /// Residual stream cycles (gather-pipeline latency drain).
     pub stream_drain: u64,
+    /// Parked at a fabric iteration barrier, waiting on slower devices or
+    /// the inter-accelerator link exchange. Always zero outside a fabric
+    /// run.
+    pub link_wait: u64,
 }
 
 impl PeCycleBreakdown {
     /// Sum of every class — equals the cycles this PE was ticked.
     pub fn total(&self) -> u64 {
-        self.idle + self.init + self.fetch_ptrs + self.apply + self.writeback + self.stream_total()
+        self.idle
+            + self.init
+            + self.fetch_ptrs
+            + self.apply
+            + self.writeback
+            + self.stream_total()
+            + self.link_wait
     }
 
     /// Cycles spent in the edge-streaming phase, all classes.
@@ -156,6 +166,7 @@ impl PeCycleBreakdown {
         self.stream_moms_wait += other.stream_moms_wait;
         self.stream_dram_wait += other.stream_dram_wait;
         self.stream_drain += other.stream_drain;
+        self.link_wait += other.link_wait;
     }
 
     /// `(label, cycles)` rows in display order, for attribution tables.
@@ -173,6 +184,7 @@ impl PeCycleBreakdown {
             ("stream/moms-wait", self.stream_moms_wait),
             ("stream/dram-wait", self.stream_dram_wait),
             ("stream/drain", self.stream_drain),
+            ("link/barrier-wait", self.link_wait),
         ]
     }
 }
@@ -549,6 +561,16 @@ impl Pe {
                 }
             }
         }
+    }
+
+    /// Books `gap` cycles spent parked at a fabric iteration barrier
+    /// (waiting on slower devices or the link exchange). Unlike
+    /// [`credit_inert_cycles`](Self::credit_inert_cycles) this is not an
+    /// attribution of the PE's own state — the device clock is being
+    /// advanced from outside — so the whole gap lands in the dedicated
+    /// `link_wait` class.
+    pub fn credit_link_wait(&mut self, gap: u64) {
+        self.breakdown.link_wait += gap;
     }
 
     fn alloc_tag(&mut self, kind: Burst) -> u64 {

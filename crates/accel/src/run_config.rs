@@ -12,6 +12,7 @@ use moms::MomsSystemConfig;
 use simkit::{Cycle, FaultConfig, TraceConfig};
 
 use crate::config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
+use crate::fabric::LinkConfig;
 
 /// Which cache arrays stay enabled (Fig. 15's four variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -76,6 +77,13 @@ pub struct RunConfig {
     /// Fast-forward provably idle stretches of the simulation (host-side
     /// speed only; results are bit-identical either way).
     pub idle_skip: bool,
+    /// Number of fabric devices; `1` means the plain single-`System` path.
+    /// Consumed by [`Fabric::new`](crate::fabric::Fabric::new), ignored by
+    /// [`build`](RunConfig::build).
+    pub devices: usize,
+    /// Inter-accelerator link network parameters (only meaningful when
+    /// `devices > 1`).
+    pub link: LinkConfig,
 }
 
 impl RunConfig {
@@ -95,6 +103,8 @@ impl RunConfig {
             watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
             trace: TraceConfig::default(),
             idle_skip: true,
+            devices: 1,
+            link: LinkConfig::default(),
         }
     }
 

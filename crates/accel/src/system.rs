@@ -266,6 +266,10 @@ pub struct System {
     graph: CooGraph,
     /// Per-PE DRAM segments awaiting channel space.
     seg_q: Vec<VecDeque<DramRequest>>,
+    /// Destination intervals scheduled by the last
+    /// [`begin_iteration`](Self::begin_iteration), consumed by the
+    /// synchronous inter-iteration host work.
+    last_jobs: Vec<usize>,
     /// Remaining segments per outstanding `(tag, count)` logical burst,
     /// per PE. Only a handful of bursts are ever in flight per PE
     /// (bounded by `edge_tags` plus init/pointer/write bursts), so a
@@ -295,18 +299,45 @@ impl System {
     /// exceeds PE BRAM, or the weighted flags of graph and algorithm
     /// disagree in an unsupported way.
     pub fn new(g: &CooGraph, partitioner: Partitioner, algo: Algorithm, cfg: SystemConfig) -> Self {
+        Self::new_sharded(g, g, partitioner, algo, cfg)
+    }
+
+    /// Builds one device of a multi-accelerator fabric: the edge shards
+    /// come from `local` (the edges this device owns), while node-level
+    /// metadata — initial values, constants, out-degrees for `finalize` —
+    /// comes from `full`, so per-node arithmetic matches the single-device
+    /// run bit for bit. `local` must span the same node-id space as
+    /// `full`; [`new`](Self::new) is the `local == full` special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`new`](Self::new), or if the
+    /// node counts of `full` and `local` disagree.
+    pub fn new_sharded(
+        full: &CooGraph,
+        local: &CooGraph,
+        partitioner: Partitioner,
+        algo: Algorithm,
+        cfg: SystemConfig,
+    ) -> Self {
         cfg.validate();
+        assert_eq!(
+            full.num_nodes(),
+            local.num_nodes(),
+            "device subgraph must span the full node-id space"
+        );
         assert!(
             partitioner.nd() <= cfg.pe.bram_nodes,
             "destination interval exceeds PE BRAM"
         );
+        let g = full;
         if algo.is_weighted() {
             assert!(
                 g.is_weighted(),
                 "weighted algorithm requires a weighted graph"
             );
         }
-        let parts = partitioner.partition(g);
+        let parts = partitioner.partition(local);
         let force_sync = matches!(cfg.execution, ExecutionMode::ForceSynchronous);
         let init = LayoutInit {
             vin: algo.initial_vin(g),
@@ -335,6 +366,7 @@ impl System {
         let sched = Scheduler::new(gi.qs());
         System {
             seg_q: vec![VecDeque::new(); cfg.num_pes()],
+            last_jobs: Vec::new(),
             burst_segments: (0..cfg.num_pes()).map(|_| Vec::with_capacity(8)).collect(),
             fault: FaultInjector::new(cfg.fault),
             watchdog: cfg.watchdog_cycles.map(Watchdog::new),
@@ -438,10 +470,7 @@ impl System {
     /// [`RunError::Stalled`] when no request retires for the configured
     /// watchdog threshold.
     pub fn run_to_outcome(&mut self, deadline: Option<Instant>) -> Result<RunResult, RunError> {
-        let max_iter = self
-            .cfg
-            .max_iterations
-            .unwrap_or_else(|| self.algo.max_iterations(self.graph_nodes));
+        let max_iter = self.resolved_max_iterations();
         let mut active_srcs = vec![true; self.gi.qs()];
         let mut iterations = 0u32;
         let mut edges_total = 0u64;
@@ -452,54 +481,166 @@ impl System {
                     return Err(RunError::TimedOut);
                 }
             }
-            // Publish active flags into the edge pointers (host work).
-            for d in 0..self.gi.qd() {
-                for (s, &active) in active_srcs.iter().enumerate() {
-                    self.gi.set_active(&mut self.img, d, s, active);
-                }
-            }
-            let jobs = self.active_jobs(&active_srcs);
-            if jobs.is_empty() {
+            if self.begin_iteration(iterations, &active_srcs) == 0 {
                 break;
             }
-            self.sched.begin_iteration(jobs.iter().copied());
-            self.tracer
-                .event(self.now, EventKind::IterStart, iterations as u64);
-            edges_total += self.run_iteration(deadline)?;
-            self.tracer
-                .event(self.now, EventKind::IterEnd, iterations as u64);
+            edges_total += self.step_iteration(iterations, deadline)?;
             iterations += 1;
 
-            let cont = self.sched.any_update || self.algo.always_active();
-            if !cont {
+            if !self.continues() {
                 break;
             }
-            active_srcs = if self.algo.always_active() {
-                vec![true; self.gi.qs()]
-            } else {
-                self.sched.active_srcs_next.clone()
-            };
+            active_srcs = self.next_active_srcs();
             if self.gi.is_synchronous() && iterations < max_iter {
-                // Intervals skipped this iteration never wrote V_out;
-                // carry their current values across the swap so the next
-                // iteration reads up-to-date data (host-side copy, like
-                // the inter-iteration pointer maintenance).
-                let scheduled: std::collections::HashSet<usize> = jobs.iter().copied().collect();
-                for d in 0..self.gi.qd() {
-                    if scheduled.contains(&d) {
-                        continue;
-                    }
-                    let base = d as u32 * self.gi.nd();
-                    let len = self.gi.nd().min(self.graph_nodes - base);
-                    for i in base..base + len {
-                        let v = self.img.read_u32(self.gi.node_in_addr(i));
-                        self.img.write_u32(self.gi.node_out_addr(i), v);
-                    }
-                }
-                self.gi.swap_io();
+                self.advance_synchronous_frontier();
             }
         }
 
+        Ok(self.finish(iterations, edges_total))
+    }
+
+    /// The iteration cap this run resolves to: the configured override, or
+    /// the algorithm's bound for this graph.
+    pub fn resolved_max_iterations(&self) -> u32 {
+        self.cfg
+            .max_iterations
+            .unwrap_or_else(|| self.algo.max_iterations(self.graph_nodes))
+    }
+
+    /// Number of source intervals (the length `begin_iteration` expects of
+    /// its active-flag slice).
+    pub fn num_source_intervals(&self) -> usize {
+        self.gi.qs()
+    }
+
+    /// `true` when the memory image keeps separate `V_in`/`V_out` arrays
+    /// (synchronous execution).
+    pub fn is_synchronous_image(&self) -> bool {
+        self.gi.is_synchronous()
+    }
+
+    /// Current simulated cycle of this device.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Publishes `active_srcs` into the edge pointers, collects the
+    /// destination-interval jobs they activate, and opens iteration `iter`
+    /// on the scheduler. Returns the number of jobs scheduled; `0` means
+    /// this device has nothing to do (the scheduler is left untouched, so
+    /// do not call [`step_iteration`](Self::step_iteration)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_srcs` does not have one flag per source interval.
+    pub fn begin_iteration(&mut self, iter: u32, active_srcs: &[bool]) -> usize {
+        assert_eq!(
+            active_srcs.len(),
+            self.gi.qs(),
+            "one active flag per source interval"
+        );
+        // Publish active flags into the edge pointers (host work).
+        for d in 0..self.gi.qd() {
+            for (s, &active) in active_srcs.iter().enumerate() {
+                self.gi.set_active(&mut self.img, d, s, active);
+            }
+        }
+        let jobs = self.active_jobs(active_srcs);
+        if jobs.is_empty() {
+            self.last_jobs.clear();
+            return 0;
+        }
+        self.sched.begin_iteration(jobs.iter().copied());
+        self.tracer
+            .event(self.now, EventKind::IterStart, iter as u64);
+        self.last_jobs = jobs;
+        self.last_jobs.len()
+    }
+
+    /// Runs the iteration opened by [`begin_iteration`](Self::begin_iteration)
+    /// to completion; returns the edges processed.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::TimedOut`] / [`RunError::Stalled`] exactly as
+    /// [`run_to_outcome`](Self::run_to_outcome).
+    pub fn step_iteration(
+        &mut self,
+        iter: u32,
+        deadline: Option<Instant>,
+    ) -> Result<u64, RunError> {
+        let edges = self.run_iteration(deadline)?;
+        self.tracer.event(self.now, EventKind::IterEnd, iter as u64);
+        Ok(edges)
+    }
+
+    /// `true` when the iteration just stepped demands another one (any
+    /// destination updated, or the algorithm never converges early).
+    pub fn continues(&self) -> bool {
+        self.sched.any_update || self.algo.always_active()
+    }
+
+    /// Source-interval active flags for the next iteration, as observed by
+    /// this device's scheduler.
+    pub fn next_active_srcs(&self) -> Vec<bool> {
+        if self.algo.always_active() {
+            vec![true; self.gi.qs()]
+        } else {
+            self.sched.active_srcs_next.clone()
+        }
+    }
+
+    /// Synchronous inter-iteration host work: intervals skipped by the
+    /// last iteration never wrote `V_out`, so carry their current values
+    /// across the buffer swap; then swap `V_in`/`V_out`.
+    pub fn advance_synchronous_frontier(&mut self) {
+        let scheduled: std::collections::HashSet<usize> = self.last_jobs.iter().copied().collect();
+        for d in 0..self.gi.qd() {
+            if scheduled.contains(&d) {
+                continue;
+            }
+            let base = d as u32 * self.gi.nd();
+            let len = self.gi.nd().min(self.graph_nodes - base);
+            for i in base..base + len {
+                let v = self.img.read_u32(self.gi.node_in_addr(i));
+                self.img.write_u32(self.gi.node_out_addr(i), v);
+            }
+        }
+        self.gi.swap_io();
+    }
+
+    /// Raw `V_in` value of node `v` (after
+    /// [`advance_synchronous_frontier`](Self::advance_synchronous_frontier)
+    /// this is the node's current value).
+    pub fn read_node_in(&self, v: u32) -> u32 {
+        self.img.read_u32(self.gi.node_in_addr(v))
+    }
+
+    /// Overwrites the `V_in` value of node `v` — how a fabric applies a
+    /// remote vertex update into this device's replica (host work, like
+    /// the inter-iteration pointer maintenance).
+    pub fn write_node_in(&mut self, v: u32, value: u32) {
+        self.img.write_u32(self.gi.node_in_addr(v), value);
+    }
+
+    /// Fast-forwards this device's clock to the fabric barrier at `to`,
+    /// booking the gap as link/barrier wait on every PE. No-op when the
+    /// device already reached `to`.
+    pub fn wait_at_barrier(&mut self, to: Cycle) {
+        if to <= self.now {
+            return;
+        }
+        let gap = to - self.now;
+        self.now = to;
+        for pe in &mut self.pes {
+            pe.credit_link_wait(gap);
+        }
+    }
+
+    /// Gathers final values, merged statistics, and metrics into the
+    /// [`RunResult`] for a run that executed `iterations` iterations and
+    /// processed `edges_total` edges.
+    pub fn finish(&mut self, iterations: u32, edges_total: u64) -> RunResult {
         let raw = self.gi.read_out_values(&self.img);
         let values = self.algo.finalize(&self.graph, &raw);
         let mut stats = Stats::new();
@@ -524,7 +665,7 @@ impl System {
             },
             pe_cycles,
         };
-        Ok(RunResult {
+        RunResult {
             cycles: self.now,
             host_ticks: self.host_ticks,
             iterations,
@@ -535,7 +676,7 @@ impl System {
             stats,
             metrics,
             trace: self.collect_trace(),
-        })
+        }
     }
 
     /// Drains every component's event ring and the occupancy sampler into

@@ -12,7 +12,7 @@
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 ablate sweep syncasync paperscale related
-//!              explain perf all
+//!              explain fabric perf all
 //! --full           all 12 benchmarks and all 7 architectures (slow)
 //! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
 //! --jobs N         worker threads for engine-driven experiments
@@ -33,6 +33,11 @@
 //! --trace-window START:END  record events only in [START, END) cycles
 //! --smoke          (perf only) run just the pinned CI smoke point
 //!
+//! `fabric` sweeps the multi-accelerator scale-out space (device count ×
+//! link bandwidth × topology, BFS and PageRank) and exports per-point
+//! cycles, GTEPS, and link occupancy; `--fault-profile` applies to each
+//! device's DRAM completions as usual.
+//!
 //! `perf` measures host throughput (simulated cycles and executed host
 //! ticks per wall-clock second, per point) and writes `BENCH_<date>.json`
 //! (or `--out PATH`). Wall-clock numbers live only in that report — the
@@ -40,144 +45,61 @@
 //! `--jobs` values.
 //! ```
 
-use std::time::Duration;
-
-use bench::engine::{self, EngineConfig};
-use bench::experiments::{self, Scope};
-use simkit::record::Format;
-use simkit::trace::{to_chrome_json, to_csv, TraceLevel, TraceReport};
+use bench::cli::{CommonFlags, Cursor};
+use bench::engine;
+use bench::experiments::{self};
+use simkit::trace::{to_chrome_json, to_csv, TraceReport};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cur = Cursor::new(std::env::args().skip(1).collect());
+    let mut flags = CommonFlags::new();
     let mut which: Option<String> = None;
-    let mut scope = Scope::quick();
-    let mut engine_cfg = EngineConfig {
-        progress: true,
-        ..EngineConfig::default()
-    };
-    let mut out_path: Option<String> = None;
-    let mut trace_path: Option<String> = None;
-    let mut format = Format::Json;
     let mut smoke = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--full" => scope.full = true,
+    while let Some(tok) = cur.next() {
+        match flags.accept(&tok, &mut cur) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => usage(&msg),
+        }
+        match tok.as_str() {
             "--smoke" => smoke = true,
-            "--shrink" => {
-                i += 1;
-                scope.shrink = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--shrink needs a number"));
-            }
-            "--jobs" => {
-                i += 1;
-                engine_cfg.jobs = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--jobs needs a number"));
-            }
-            "--timeout-secs" => {
-                i += 1;
-                let secs: u64 = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--timeout-secs needs a number"));
-                engine_cfg.timeout = Some(Duration::from_secs(secs));
-            }
-            "--out" => {
-                i += 1;
-                out_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--out needs a path")),
-                );
-            }
-            "--format" => {
-                i += 1;
-                format = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--format is json or csv"));
-            }
-            "--fault-profile" => {
-                i += 1;
-                engine_cfg.fault.profile =
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                        usage(
-                            "--fault-profile is one of \
-                             none|delay|reorder|nack|chaos-lite|chaos|black-hole",
-                        )
-                    });
-            }
-            "--fault-seed" => {
-                i += 1;
-                engine_cfg.fault.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--fault-seed needs a number"));
-            }
-            "--watchdog-cycles" => {
-                i += 1;
-                engine_cfg.watchdog_cycles = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage("--watchdog-cycles needs a number")),
-                );
-            }
-            "--trace" => {
-                i += 1;
-                trace_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| usage("--trace needs a path")),
-                );
-            }
-            "--trace-level" => {
-                i += 1;
-                engine_cfg.trace.level = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--trace-level is events or counters"));
-            }
-            "--trace-window" => {
-                i += 1;
-                engine_cfg.trace.window = Some(
-                    args.get(i)
-                        .and_then(|s| parse_window(s))
-                        .unwrap_or_else(|| usage("--trace-window is START:END in cycles")),
-                );
-            }
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_owned()),
             s => usage(&format!("unknown argument {s}")),
         }
-        i += 1;
     }
     let which = which.unwrap_or_else(|| usage("missing experiment name"));
-
-    if trace_path.is_some() && engine_cfg.trace.level == TraceLevel::Off {
-        engine_cfg.trace.level = TraceLevel::Events;
+    if let Err(msg) = flags.finalize() {
+        usage(&msg);
     }
-    if trace_path.is_none() && engine_cfg.trace.level != TraceLevel::Off {
-        usage("--trace-level/--trace-window require --trace PATH");
-    }
-    engine::set_global_config(engine_cfg);
+    let scope = flags.scope;
+    engine::set_global_config(flags.engine);
 
     // `perf` owns its output file (host-timing JSON, not point records)
     // and runs nothing through the engine recorder.
     if which == "perf" {
-        print!("{}", bench::perf::run(scope, smoke, out_path));
+        print!("{}", bench::perf::run(scope, smoke, flags.out_path));
         return;
     }
     if smoke {
         usage("--smoke only applies to the perf experiment");
     }
 
-    if out_path.is_some() {
+    // `fabric` exports its own richer record type (link columns), so it
+    // renders `--out` directly instead of going through the recorder.
+    if which == "fabric" {
+        let points = experiments::fabric::sweep(scope);
+        print!("{}", experiments::fabric::render(&points));
+        if let Some(path) = flags.out_path {
+            write_or_die(&path, &flags.format.render(&points));
+            eprintln!("wrote {} result rows to {path}", points.len());
+        }
+        return;
+    }
+
+    if flags.out_path.is_some() {
         engine::enable_recording();
     }
-    if trace_path.is_some() {
+    if flags.trace_path.is_some() {
         engine::enable_trace_capture();
     }
 
@@ -198,7 +120,7 @@ fn main() {
         "paperscale" => print!("{}", experiments::paperscale::run()),
         "related" => print!("{}", experiments::related_work::run(scope)),
         "explain" => print!("{}", bench::explain::run(scope)),
-        "perf" => unreachable!("perf dispatched before the engine recorder"),
+        "fabric" | "perf" => unreachable!("dispatched before the engine recorder"),
         other => usage(&format!("unknown experiment {other}")),
     };
 
@@ -226,17 +148,13 @@ fn main() {
         run_one(&which);
     }
 
-    if let Some(path) = out_path {
+    if let Some(path) = flags.out_path {
         let results = engine::take_recorded().unwrap_or_default();
-        let rendered = format.render(&results);
-        if let Err(e) = std::fs::write(&path, rendered) {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
+        write_or_die(&path, &flags.format.render(&results));
         eprintln!("wrote {} result rows to {path}", results.len());
     }
 
-    if let Some(path) = trace_path {
+    if let Some(path) = flags.trace_path {
         let traces = engine::take_traces().unwrap_or_default();
         if traces.is_empty() {
             eprintln!("warning: no traces captured (did every point fail?)");
@@ -253,6 +171,13 @@ fn main() {
     }
 }
 
+fn write_or_die(path: &str, rendered: &str) {
+    if let Err(e) = std::fs::write(path, rendered) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// Renders one trace report in the format implied by the path extension
 /// (`.csv` for the flat timeline, Chrome/Perfetto JSON otherwise).
 fn write_trace(path: &str, report: &TraceReport) {
@@ -261,10 +186,7 @@ fn write_trace(path: &str, report: &TraceReport) {
     } else {
         to_chrome_json(report)
     };
-    if let Err(e) = std::fs::write(path, rendered) {
-        eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(1);
-    }
+    write_or_die(path, &rendered);
     eprintln!(
         "wrote trace ({} events, {} counter series) to {path}",
         report.events.len(),
@@ -291,18 +213,10 @@ fn suffixed_path(path: &str, label: &str) -> String {
     }
 }
 
-/// Parses `START:END` cycle bounds for `--trace-window`.
-fn parse_window(s: &str) -> Option<(u64, u64)> {
-    let (a, b) = s.split_once(':')?;
-    let start: u64 = a.parse().ok()?;
-    let end: u64 = b.parse().ok()?;
-    (start < end).then_some((start, end))
-}
-
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|perf|all> \
+        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|fabric|perf|all> \
          [--full] [--smoke] [--shrink N] [--jobs N] [--timeout-secs S] \
          [--out PATH] [--format json|csv] \
          [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \

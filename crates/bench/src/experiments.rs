@@ -897,6 +897,176 @@ pub mod sweep {
     }
 }
 
+/// `repro fabric`: scale-out sweep over device count × link bandwidth.
+pub mod fabric {
+    use super::*;
+    use accel::Fabric;
+    use simkit::record::{Record, Value};
+
+    /// One simulated point of the scale-out sweep.
+    #[derive(Debug, Clone)]
+    pub struct FabricPoint {
+        /// Benchmark tag.
+        pub bench: String,
+        /// Algorithm name.
+        pub algo: String,
+        /// Devices in the fabric.
+        pub devices: usize,
+        /// Link wiring label.
+        pub topology: String,
+        /// Per-link bandwidth in words/cycle.
+        pub link_bw: u32,
+        /// Global simulated cycles.
+        pub cycles: u64,
+        /// Globally synchronous iterations.
+        pub iterations: u32,
+        /// Edges processed across all devices.
+        pub edges: u64,
+        /// Estimated clock in MHz (resource model, per device).
+        pub freq_mhz: f64,
+        /// Throughput in GTEPS at the estimated clock.
+        pub gteps: f64,
+        /// Cycles spent in barrier exchanges.
+        pub exchange_cycles: u64,
+        /// Mean busy fraction over all links (0 for one device).
+        pub link_occupancy_mean: f64,
+        /// Busiest link's busy fraction.
+        pub link_occupancy_peak: f64,
+        /// Link messages delivered.
+        pub messages: u64,
+        /// Remote vertex updates carried.
+        pub updates: u64,
+    }
+
+    impl Record for FabricPoint {
+        fn fields(&self) -> Vec<(&'static str, Value)> {
+            vec![
+                ("bench", Value::from(self.bench.clone())),
+                ("algo", Value::from(self.algo.clone())),
+                ("devices", Value::from(self.devices)),
+                ("topology", Value::from(self.topology.clone())),
+                ("link_bw", Value::from(self.link_bw)),
+                ("cycles", Value::from(self.cycles)),
+                ("iterations", Value::from(u64::from(self.iterations))),
+                ("edges", Value::from(self.edges)),
+                ("freq_mhz", Value::from(self.freq_mhz)),
+                ("gteps", Value::from(self.gteps)),
+                ("exchange_cycles", Value::from(self.exchange_cycles)),
+                ("link_occupancy_mean", Value::from(self.link_occupancy_mean)),
+                ("link_occupancy_peak", Value::from(self.link_occupancy_peak)),
+                ("messages", Value::from(self.messages)),
+                ("updates", Value::from(self.updates)),
+            ]
+        }
+    }
+
+    /// The sweep dimensions: BFS and PageRank on 1/2/4/8 devices, link
+    /// bandwidths of 1/4/16 words per cycle (multi-device only — a
+    /// 1-device fabric has no links), plus one ring-topology series at
+    /// the default bandwidth.
+    pub fn sweep(scope: Scope) -> Vec<FabricPoint> {
+        let arch = ArchPoint::two_level_16_16();
+        let bench = BenchmarkId::Wt;
+        let mut spec = spec_for(arch, &scope);
+        let g = prepare_graph(bench, spec.pre, spec.shrink, false);
+        let eng = crate::engine::global_config();
+        let mut out = Vec::new();
+        for (algo, iters) in [(Algorithm::bfs(0), None), (Algorithm::pagerank(), Some(2))] {
+            spec.max_iterations = iters;
+            for devices in [1usize, 2, 4, 8] {
+                for bw in [1u32, 4, 16] {
+                    if devices == 1 && bw != 4 {
+                        continue;
+                    }
+                    let topologies: &[accel::LinkTopology] = if devices > 1 && bw == 4 {
+                        &[accel::LinkTopology::AllToAll, accel::LinkTopology::Ring]
+                    } else {
+                        &[accel::LinkTopology::AllToAll]
+                    };
+                    for &topology in topologies {
+                        let mut rc = spec.run_config();
+                        rc.devices = devices;
+                        rc.link.bandwidth_words_per_cycle = bw;
+                        rc.link.topology = topology;
+                        rc.fault = eng.fault;
+                        if let Some(wc) = eng.watchdog_cycles {
+                            rc.watchdog_cycles = (wc > 0).then_some(wc);
+                        }
+                        let r = Fabric::new(&g, algo, &rc).run();
+                        let freq = arch.frequency_mhz(spec.channels, &algo);
+                        out.push(FabricPoint {
+                            bench: bench.tag().to_owned(),
+                            algo: algo.name().to_owned(),
+                            devices,
+                            topology: topology.name().to_owned(),
+                            link_bw: bw,
+                            cycles: r.cycles,
+                            iterations: r.iterations,
+                            edges: r.edges_processed,
+                            freq_mhz: freq,
+                            gteps: r.gteps(freq),
+                            exchange_cycles: r.link.exchange_cycles,
+                            link_occupancy_mean: r.link.mean_occupancy(r.cycles),
+                            link_occupancy_peak: r.link.peak_occupancy(r.cycles),
+                            messages: r.link.messages_delivered,
+                            updates: r.link.updates,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the sweep as a text table.
+    pub fn render(points: &[FabricPoint]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== fabric: scale-out sweep (devices x link bandwidth, {}) ==",
+            points.first().map_or("-", |p| p.bench.as_str())
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:<11} {:>6} {:>12} {:>6} {:>8} {:>10} {:>8} {:>8} {:>9}",
+            "algo",
+            "dev",
+            "topology",
+            "bw w/c",
+            "cycles",
+            "iters",
+            "gteps",
+            "exch cyc",
+            "occ avg",
+            "occ max",
+            "messages"
+        );
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>4} {:<11} {:>6} {:>12} {:>6} {:>8.3} {:>10} {:>7.1}% {:>7.1}% {:>9}",
+                p.algo,
+                p.devices,
+                p.topology,
+                p.link_bw,
+                p.cycles,
+                p.iterations,
+                p.gteps,
+                p.exchange_cycles,
+                p.link_occupancy_mean * 100.0,
+                p.link_occupancy_peak * 100.0,
+                p.messages
+            );
+        }
+        out
+    }
+
+    /// Runs the sweep and renders the table.
+    pub fn run(scope: Scope) -> String {
+        render(&sweep(scope))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -941,5 +1111,43 @@ mod tests {
         let s = fig15::run(scope);
         assert!(s.contains("no caches"));
         assert!(s.contains("geo"));
+    }
+
+    #[test]
+    fn fabric_sweep_covers_devices_bandwidths_and_topologies() {
+        let mut scope = tiny_scope();
+        scope.shrink = 64;
+        let points = fabric::sweep(scope);
+        for algo in ["bfs", "pagerank"] {
+            for devices in [1usize, 2, 4, 8] {
+                assert!(
+                    points
+                        .iter()
+                        .any(|p| p.algo == algo && p.devices == devices),
+                    "missing {algo} on {devices} devices"
+                );
+            }
+        }
+        assert!(points.iter().any(|p| p.topology == "ring"));
+        assert!(points.iter().any(|p| p.link_bw == 1));
+        assert!(points.iter().any(|p| p.link_bw == 16));
+        for p in &points {
+            assert!(p.cycles > 0 && p.gteps > 0.0, "empty point {p:?}");
+            if p.devices == 1 {
+                assert_eq!(p.exchange_cycles, 0);
+                assert_eq!(p.messages, 0);
+            } else {
+                assert!(p.messages > 0, "no traffic on {} devices", p.devices);
+            }
+            assert!((0.0..=1.0).contains(&p.link_occupancy_mean));
+            assert!(p.link_occupancy_peak >= p.link_occupancy_mean);
+        }
+        // Exports carry the link columns.
+        let csv = simkit::record::to_csv(&points);
+        assert!(csv.starts_with("bench,algo,devices,topology,link_bw,"));
+        assert!(csv.contains("link_occupancy_mean"));
+        let rendered = fabric::render(&points);
+        assert!(rendered.contains("== fabric:"));
+        assert!(rendered.contains("all-to-all"));
     }
 }

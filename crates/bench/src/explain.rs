@@ -13,21 +13,17 @@
 
 use std::fmt::Write as _;
 
-use accel::{MetricsSnapshot, PeCycleBreakdown};
+use accel::{Fabric, MetricsSnapshot, PeCycleBreakdown};
+use algos::Algorithm;
 
 use crate::arch::ArchPoint;
 use crate::experiments::Scope;
 use crate::runner::{prepare_graph, run_graph_outcome, RunFailure, RunSpec};
 
-/// Renders the attribution table for one finished run.
-fn render_one(out: &mut String, label: &str, cycles: u64, m: &MetricsSnapshot) {
-    let b: PeCycleBreakdown = m.pe_cycles;
+/// Renders the per-class PE-cycle table shared by the single-device and
+/// fabric attributions.
+fn render_breakdown(out: &mut String, b: &PeCycleBreakdown) {
     let total = b.total().max(1);
-    let _ = writeln!(
-        out,
-        "-- {label}: {cycles} cycles, {} PE-cycles attributed --",
-        b.total()
-    );
     let _ = writeln!(out, "  {:<26} {:>12} {:>7}", "class", "pe-cycles", "%");
     for (name, v) in b.rows() {
         if v == 0 {
@@ -41,6 +37,17 @@ fn render_one(out: &mut String, label: &str, cycles: u64, m: &MetricsSnapshot) {
             100.0 * v as f64 / total as f64
         );
     }
+}
+
+/// Renders the attribution table for one finished run.
+fn render_one(out: &mut String, label: &str, cycles: u64, m: &MetricsSnapshot) {
+    let b: PeCycleBreakdown = m.pe_cycles;
+    let _ = writeln!(
+        out,
+        "-- {label}: {cycles} cycles, {} PE-cycles attributed --",
+        b.total()
+    );
+    render_breakdown(out, &b);
     let stalls = &m.moms.banks;
     let refusals = stalls.stall_mshr_full + stalls.stall_subentry_full + stalls.stall_mem_full;
     if refusals > 0 {
@@ -77,7 +84,46 @@ pub fn run(scope: Scope) -> String {
             }
         }
     }
+    render_fabric(&mut out, scope, arch);
     out
+}
+
+/// Appends one 4-device fabric attribution, so the Link section
+/// (`link/barrier-wait` plus the exchange/occupancy summary) shows up in
+/// the same report that explains single-device stalls.
+fn render_fabric(out: &mut String, scope: Scope, arch: ArchPoint) {
+    let bench = scope.benches()[0];
+    let algo = Algorithm::pagerank();
+    let mut spec = RunSpec::new(arch);
+    spec.shrink = scope.shrink;
+    let g = prepare_graph(bench, spec.pre, spec.shrink, algo.is_weighted());
+    let mut rc = spec.run_config();
+    rc.max_iterations = Some(2);
+    rc.devices = 4;
+    let r = Fabric::new(&g, algo, &rc).run();
+    let label = format!(
+        "{}/{}/{} x4 devices",
+        bench.tag(),
+        algo.name(),
+        spec.arch.name
+    );
+    let _ = writeln!(
+        out,
+        "-- {label}: {} cycles, {} PE-cycles attributed --",
+        r.cycles,
+        r.pe_cycles.total()
+    );
+    render_breakdown(out, &r.pe_cycles);
+    let _ = writeln!(
+        out,
+        "  link: {} exchange cycles, occupancy mean {:.1}% peak {:.1}%, \
+         {} messages / {} updates",
+        r.link.exchange_cycles,
+        r.link.mean_occupancy(r.cycles) * 100.0,
+        r.link.peak_occupancy(r.cycles) * 100.0,
+        r.link.messages_delivered,
+        r.link.updates
+    );
 }
 
 #[cfg(test)]
@@ -97,5 +143,20 @@ mod tests {
             "attribution must be exhaustive:\n{report}"
         );
         assert!(report.contains("stream/productive"), "{report}");
+    }
+
+    #[test]
+    fn explain_attributes_fabric_link_waits() {
+        let scope = Scope {
+            full: false,
+            shrink: 64,
+        };
+        let report = run(scope);
+        assert!(report.contains("x4 devices"), "{report}");
+        assert!(
+            report.contains("link/barrier-wait"),
+            "fabric section must attribute barrier parking:\n{report}"
+        );
+        assert!(report.contains("exchange cycles"), "{report}");
     }
 }

@@ -7,6 +7,7 @@
 //! paper-vs-measured comparison.
 
 pub mod arch;
+pub mod cli;
 pub mod engine;
 pub mod experiments;
 pub mod explain;

@@ -278,6 +278,152 @@ impl PartitionedGraph {
     }
 }
 
+/// Assignment of the node-id space to `N` fabric devices.
+///
+/// Each device owns a contiguous slice of node ids aligned to
+/// `lcm(Ns, Nd)`, so the slice is simultaneously a whole number of source
+/// intervals and a whole number of destination intervals. A device holds
+/// *all* in-edges of its owned destinations: every vertex's reduction runs
+/// on exactly one device, in the same shard order as a single-device run,
+/// which is what makes multi-device results bit-identical (PageRank's f32
+/// accumulation is not associative, so splitting a vertex's in-edges
+/// across devices would reassociate the sum).
+///
+/// Devices beyond the available alignment blocks own an empty slice; the
+/// fabric keeps them at the barrier with no local work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceMap {
+    ns: u32,
+    nd: u32,
+    num_nodes: u32,
+    /// `bounds[i]..bounds[i + 1]` is the destination-interval range owned
+    /// by device `i`; `bounds.len() == num_devices + 1`.
+    bounds: Vec<usize>,
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl DeviceMap {
+    /// Splits the node-id space of a graph partitioned by `partitioner`
+    /// into `num_devices` contiguous aligned slices, balancing the number
+    /// of destination intervals per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices` is zero.
+    pub fn new(partitioner: Partitioner, num_nodes: u32, num_devices: usize) -> Self {
+        assert!(num_devices > 0, "a fabric needs at least one device");
+        let ns = partitioner.ns();
+        let nd = partitioner.nd();
+        let qd = num_nodes.div_ceil(nd).max(1) as usize;
+        // Alignment granularity in destination intervals: device borders
+        // must fall on multiples of lcm(Ns, Nd) node ids.
+        let grain = (ns / gcd(ns, nd)) as usize;
+        let blocks = qd.div_ceil(grain);
+        let per = blocks / num_devices;
+        let extra = blocks % num_devices;
+        let mut bounds = Vec::with_capacity(num_devices + 1);
+        bounds.push(0usize);
+        let mut blk = 0usize;
+        for i in 0..num_devices {
+            blk += per + usize::from(i < extra);
+            bounds.push((blk * grain).min(qd));
+        }
+        DeviceMap {
+            ns,
+            nd,
+            num_nodes,
+            bounds,
+        }
+    }
+
+    /// Number of devices in the fabric.
+    pub fn num_devices(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Destination intervals owned by device `dev`.
+    pub fn device_d_intervals(&self, dev: usize) -> std::ops::Range<usize> {
+        self.bounds[dev]..self.bounds[dev + 1]
+    }
+
+    /// Source intervals covering device `dev`'s owned node range. Exact
+    /// because device borders are `lcm(Ns, Nd)`-aligned.
+    pub fn device_s_intervals(&self, dev: usize) -> std::ops::Range<usize> {
+        let nodes = self.device_nodes(dev);
+        (nodes.start / self.ns) as usize..(nodes.end.div_ceil(self.ns)) as usize
+    }
+
+    /// Node ids owned by device `dev` (empty for surplus devices).
+    pub fn device_nodes(&self, dev: usize) -> std::ops::Range<u32> {
+        let d = self.device_d_intervals(dev);
+        let start = (d.start as u32 * self.nd).min(self.num_nodes);
+        let end = (d.end as u32 * self.nd).min(self.num_nodes);
+        start..end
+    }
+
+    /// The device owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the node-id space.
+    pub fn owner_of_node(&self, v: NodeId) -> usize {
+        assert!(v < self.num_nodes, "node id out of range");
+        let di = (v / self.nd) as usize;
+        self.owner_of_d_interval(di)
+    }
+
+    /// The device owning destination interval `di`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `di` is not a valid destination interval.
+    pub fn owner_of_d_interval(&self, di: usize) -> usize {
+        assert!(di < *self.bounds.last().unwrap(), "interval out of range");
+        // bounds is sorted; find the device whose range contains di.
+        match self.bounds.binary_search(&di) {
+            // di is the first interval of some boundary; boundaries of
+            // empty devices repeat, so take the last match.
+            Ok(mut i) => {
+                while i + 1 < self.bounds.len() && self.bounds[i + 1] == di {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Extracts device `dev`'s local subgraph: the full node-id space, but
+    /// only the edges whose destination the device owns, in the original
+    /// edge order (so per-shard edge order — and therefore every f32
+    /// reduction order — matches the single-device partition exactly).
+    pub fn extract_local(&self, g: &CooGraph, dev: usize) -> CooGraph {
+        let nodes = self.device_nodes(dev);
+        let mut edges = Vec::new();
+        let mut weights = g.is_weighted().then(Vec::new);
+        for i in 0..g.num_edges() {
+            let (s, d, w) = g.edge(i);
+            if nodes.contains(&d) {
+                edges.push((s, d));
+                if let Some(ws) = &mut weights {
+                    ws.push(w);
+                }
+            }
+        }
+        match weights {
+            Some(ws) => CooGraph::from_weighted_edges(g.num_nodes(), edges, ws),
+            None => CooGraph::from_edges(g.num_nodes(), edges),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +511,149 @@ mod tests {
         let g = CooGraph::from_edges(4, vec![(0, 0), (1, 0), (2, 0), (3, 3)]);
         let p = Partitioner::new(4, 2).partition(&g);
         assert_eq!(p.in_edges_per_interval(), vec![3, 1]);
+    }
+
+    #[test]
+    fn max_interval_sizes_round_trip() {
+        // Intervals at the format limits: offsets occupy the full 16/15
+        // bits and still decompress to the right global ids.
+        let edges = vec![
+            (0, 0),
+            (MAX_NS - 1, MAX_ND - 1),      // last offsets of shard (0, 0)
+            (MAX_NS - 1, MAX_NS - 1),      // dst interval 1, offset MAX_ND-1
+            (MAX_NS - 1, MAX_NS - MAX_ND), // dst interval 1, offset 0
+        ];
+        let g = CooGraph::from_edges(MAX_NS, edges.clone());
+        let p = Partitioner::new(MAX_NS, MAX_ND).partition(&g);
+        assert_eq!(p.qs(), 1);
+        assert_eq!(p.qd(), 2);
+        assert_eq!(p.total_edges(), edges.len() as u64);
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for d in 0..p.qd() {
+            seen.extend(p.iter_shard_edges(0, d).map(|(s, dd, _)| (s, dd)));
+        }
+        seen.sort_unstable();
+        let mut want = edges;
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn empty_shards_are_represented() {
+        // A single self-loop at node 0 leaves every other shard present
+        // but empty.
+        let g = CooGraph::from_edges(16, vec![(0, 0)]);
+        let p = Partitioner::new(4, 4).partition(&g);
+        assert_eq!(p.qs(), 4);
+        assert_eq!(p.qd(), 4);
+        for d in 0..p.qd() {
+            for s in 0..p.qs() {
+                let sh = p.shard(s, d);
+                if (s, d) == (0, 0) {
+                    assert_eq!(sh.len(), 1);
+                    assert!(!sh.is_empty());
+                } else {
+                    assert!(sh.is_empty(), "shard ({s},{d}) should be empty");
+                    assert_eq!(p.iter_shard_edges(s, d).count(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminator_round_trips_through_bits() {
+        let t = CompressedEdge::TERMINATOR;
+        assert!(t.is_terminating());
+        assert_eq!(t.src_offset(), 0);
+        assert_eq!(t.dst_offset(), 0);
+        let back = CompressedEdge::from_bits(t.to_bits());
+        assert_eq!(back, t);
+        assert!(back.is_terminating());
+        // No real edge word is ever terminating.
+        let e = CompressedEdge::new(MAX_NS - 1, MAX_ND - 1);
+        assert!(!e.is_terminating());
+        assert!(!CompressedEdge::from_bits(e.to_bits()).is_terminating());
+    }
+
+    #[test]
+    fn device_map_covers_every_edge_exactly_once() {
+        let g = GraphSpec::rmat(11, 8).build(7);
+        let partitioner = Partitioner::new(256, 128);
+        for num_devices in [1usize, 2, 3, 4, 8] {
+            let map = DeviceMap::new(partitioner, g.num_nodes(), num_devices);
+            assert_eq!(map.num_devices(), num_devices);
+            let mut seen: Vec<(u32, u32)> = Vec::new();
+            for dev in 0..num_devices {
+                let local = map.extract_local(&g, dev);
+                assert_eq!(local.num_nodes(), g.num_nodes());
+                let p = partitioner.partition(&local);
+                for d in 0..p.qd() {
+                    for s in 0..p.qs() {
+                        for (src, dst, _) in p.iter_shard_edges(s, d) {
+                            assert_eq!(map.owner_of_node(dst), dev);
+                            seen.push((src, dst));
+                        }
+                    }
+                }
+            }
+            let mut orig: Vec<(u32, u32)> = g.edges().to_vec();
+            orig.sort_unstable();
+            seen.sort_unstable();
+            assert_eq!(seen, orig, "devices={num_devices}");
+        }
+    }
+
+    #[test]
+    fn device_map_slices_are_aligned_and_contiguous() {
+        // Ns = 8, Nd = 4: borders must fall on lcm = 8 node ids, i.e.
+        // every device slice is whole source *and* destination intervals.
+        let map = DeviceMap::new(Partitioner::new(8, 4), 50, 3);
+        let mut expect_start = 0u32;
+        for dev in 0..map.num_devices() {
+            let nodes = map.device_nodes(dev);
+            assert_eq!(nodes.start, expect_start, "slices must be contiguous");
+            assert_eq!(nodes.start % 8, 0, "device border must be Ns-aligned");
+            expect_start = nodes.end;
+            let s = map.device_s_intervals(dev);
+            let d = map.device_d_intervals(dev);
+            assert_eq!(s.start as u32 * 8, nodes.start);
+            assert_eq!(d.start as u32 * 4, nodes.start.min(48));
+            for v in nodes.clone() {
+                assert_eq!(map.owner_of_node(v), dev);
+            }
+        }
+        assert_eq!(expect_start, 50, "every node must be owned");
+    }
+
+    #[test]
+    fn device_map_surplus_devices_own_nothing() {
+        // 8 nodes in one lcm(4, 4) = 4-id grain → 2 blocks over 4 devices:
+        // devices 2 and 3 are surplus.
+        let map = DeviceMap::new(Partitioner::new(4, 4), 8, 4);
+        assert!(!map.device_nodes(0).is_empty());
+        assert!(!map.device_nodes(1).is_empty());
+        assert!(map.device_nodes(2).is_empty());
+        assert!(map.device_nodes(3).is_empty());
+        let g = CooGraph::from_edges(8, vec![(0, 7), (7, 0)]);
+        assert_eq!(map.extract_local(&g, 2).num_edges(), 0);
+        assert_eq!(map.owner_of_node(0), 0);
+        assert_eq!(map.owner_of_node(7), 1);
+    }
+
+    #[test]
+    fn device_map_preserves_weights_and_edge_order() {
+        let g = CooGraph::from_weighted_edges(
+            8,
+            vec![(0, 4), (1, 4), (0, 0), (2, 4)],
+            vec![10, 20, 30, 40],
+        );
+        let map = DeviceMap::new(Partitioner::new(4, 4), 8, 2);
+        let local = map.extract_local(&g, 1);
+        assert!(local.is_weighted());
+        assert_eq!(local.num_edges(), 3);
+        // Original order among the surviving edges is preserved.
+        assert_eq!(local.edge(0), (0, 4, 10));
+        assert_eq!(local.edge(1), (1, 4, 20));
+        assert_eq!(local.edge(2), (2, 4, 40));
     }
 }

@@ -299,8 +299,7 @@ impl MomsBank {
 
     /// Point-in-time view of this bank's occupancy and cache statistics.
     ///
-    /// This is the one sanctioned way to observe a bank from outside; the
-    /// individual accessors it replaced remain as deprecated wrappers.
+    /// This is the one sanctioned way to observe a bank from outside.
     pub fn snapshot(&self) -> MomsBankSnapshot {
         let (cache_hits, cache_misses) = self
             .cache
@@ -316,42 +315,6 @@ impl MomsBank {
             stall_subentry_full: self.counters.stall_subentry_full,
             stall_mem_full: self.counters.stall_mem_full,
         }
-    }
-
-    /// Number of outstanding misses (live MSHRs).
-    #[deprecated(since = "0.2.0", note = "use `snapshot().mshr_occupancy`")]
-    pub fn mshr_occupancy(&self) -> usize {
-        self.snapshot().mshr_occupancy
-    }
-
-    /// Peak outstanding lines (live MSHRs).
-    #[deprecated(since = "0.2.0", note = "use `snapshot().peak_mshr_occupancy`")]
-    pub fn peak_mshr_occupancy(&self) -> usize {
-        self.snapshot().peak_mshr_occupancy
-    }
-
-    /// Peak simultaneous pending *misses* (live subentries) — the
-    /// "thousands of simultaneous misses" headline metric: many misses
-    /// share one MSHR when they hit the same line.
-    #[deprecated(since = "0.2.0", note = "use `snapshot().peak_pending_misses`")]
-    pub fn peak_pending_misses(&self) -> usize {
-        self.snapshot().peak_pending_misses
-    }
-
-    /// Cache hit rate of this bank's array (0 when cache-less).
-    #[deprecated(since = "0.2.0", note = "use `snapshot().cache_hit_rate()`")]
-    pub fn cache_hit_rate(&self) -> f64 {
-        self.snapshot().cache_hit_rate()
-    }
-
-    /// Cache probe counts `(hits, misses)`; zeros when cache-less.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `snapshot().cache_hits` / `snapshot().cache_misses`"
-    )]
-    pub fn cache_counts(&self) -> (u64, u64) {
-        let s = self.snapshot();
-        (s.cache_hits, s.cache_misses)
     }
 
     /// Counters: `cache_hits`, `secondary_misses`, `primary_misses`,

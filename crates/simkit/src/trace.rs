@@ -140,6 +140,9 @@ pub enum TrackKind {
     MomsShared,
     /// A DRAM channel.
     DramChannel,
+    /// An inter-accelerator fabric link (one direction of one device
+    /// pair).
+    Link,
 }
 
 /// Identity of one timeline in the trace (one PE, one bank, one channel).
@@ -192,6 +195,14 @@ impl Track {
         }
     }
 
+    /// Track of fabric link `i`.
+    pub fn link(i: usize) -> Self {
+        Track {
+            kind: TrackKind::Link,
+            index: i as u16,
+        }
+    }
+
     /// Stable human-readable label, also the Perfetto thread name.
     pub fn label(&self) -> String {
         match self.kind {
@@ -200,6 +211,7 @@ impl Track {
             TrackKind::MomsPrivate => format!("moms.private[{}]", self.index),
             TrackKind::MomsShared => format!("moms.shared[{}]", self.index),
             TrackKind::DramChannel => format!("dram.ch[{}]", self.index),
+            TrackKind::Link => format!("link[{}]", self.index),
         }
     }
 
@@ -211,6 +223,7 @@ impl Track {
             TrackKind::MomsPrivate => 2,
             TrackKind::MomsShared => 3,
             TrackKind::DramChannel => 4,
+            TrackKind::Link => 5,
         };
         (kind << 16) | self.index as u32
     }
@@ -285,6 +298,12 @@ pub enum EventKind {
     IterEnd,
     /// The fault injector dropped a response; arg = request id.
     FaultDrop,
+    /// A link message entered a fabric link; arg = destination device.
+    LinkTx,
+    /// A link message was delivered by a fabric link; arg = source device.
+    LinkRx,
+    /// The link fault injector dropped a message; arg = source device.
+    LinkDrop,
 }
 
 impl EventKind {
@@ -320,6 +339,9 @@ impl EventKind {
             EventKind::IterStart => "iter.start",
             EventKind::IterEnd => "iter.end",
             EventKind::FaultDrop => "fault.drop",
+            EventKind::LinkTx => "link.tx",
+            EventKind::LinkRx => "link.rx",
+            EventKind::LinkDrop => "link.drop",
         }
     }
 
