@@ -22,10 +22,12 @@ use algos::Algorithm;
 use graph::CooGraph;
 use moms::{MomsConfig, MomsSystemConfig, Topology};
 
+use crate::checkpoint::RecoveryConfig;
 use crate::config::ExecutionMode;
 use crate::fabric::{Fabric, FabricRunResult, LinkConfig, LinkTopology};
 use crate::run_config::{CacheVariant, RunConfig};
 use crate::system::{RunResult, System};
+use simkit::Cycle;
 
 /// Builder for one-shot accelerator runs with sensible defaults.
 ///
@@ -43,6 +45,7 @@ pub struct Driver {
     cacheless: bool,
     devices: usize,
     link: LinkConfig,
+    recovery: Option<RecoveryConfig>,
 }
 
 impl Default for Driver {
@@ -64,6 +67,7 @@ impl Driver {
             cacheless: false,
             devices: 1,
             link: LinkConfig::default(),
+            recovery: None,
         }
     }
 
@@ -156,6 +160,39 @@ impl Driver {
         self
     }
 
+    /// Initial retransmission timeout of the reliable link transport in
+    /// cycles (floored internally at a few round-trips of the configured
+    /// link to avoid spurious retransmits on slow-but-lossless links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero.
+    pub fn link_retry(mut self, rto: Cycle) -> Self {
+        assert!(rto > 0, "link rto must be nonzero");
+        self.link.retry.rto = rto;
+        self.link.retry.rto_cap = self.link.retry.rto_cap.max(rto);
+        self
+    }
+
+    /// Replaces the whole checkpoint/rollback recovery policy.
+    pub fn recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
+    }
+
+    /// Enables checkpoint/rollback recovery with a snapshot every
+    /// `barriers` barriers (0 disables recovery again).
+    pub fn checkpoint_interval(mut self, barriers: u32) -> Self {
+        if barriers == 0 {
+            self.recovery = None;
+        } else {
+            let mut cfg = self.recovery.unwrap_or_default();
+            cfg.checkpoint_interval = barriers;
+            self.recovery = Some(cfg);
+        }
+        self
+    }
+
     /// Destination interval size chosen for `n` nodes: jobs ≈ 16× PEs,
     /// clamped to a sane power-of-two range.
     fn auto_nd(&self, n: u32) -> u32 {
@@ -200,6 +237,7 @@ impl Driver {
         rc.max_iterations = self.max_iterations;
         rc.devices = self.devices;
         rc.link = self.link;
+        rc.recovery = self.recovery;
         rc
     }
 

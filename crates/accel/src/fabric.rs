@@ -1,5 +1,5 @@
 //! Multi-accelerator fabric: sharded scale-out simulation with an
-//! inter-accelerator network model.
+//! inter-accelerator network model and a reliable transport on top.
 //!
 //! A [`Fabric`] instantiates N independent [`System`] devices, each owning
 //! a contiguous, interval-aligned slice of the node-id space (see
@@ -22,11 +22,34 @@
 //! [`PeCycleBreakdown`](crate::PeCycleBreakdown), which `repro explain`
 //! renders as the Link section.
 //!
-//! A [`FaultInjector`] sits on the delivery path of the link network and a
-//! fabric-level [`Watchdog`] covers the exchange, so black-hole and delay
-//! profiles exercise the network exactly like the DRAM-side machinery: a
-//! lossy link starves the barrier of expected messages and trips the
-//! watchdog with per-link [`DiagnosticSection`]s.
+//! # Reliable transport
+//!
+//! The network is treated as unreliable end to end. Every (owner,
+//! consumer) device pair is a *flow*: update batches are chunked into
+//! sequenced payload messages ([`LinkRetryConfig::max_updates_per_message`]),
+//! admitted under a sliding window, and acknowledged by cumulative acks
+//! flowing back over the same links. Receivers hold out-of-order payloads
+//! in a bounded reorder window, discard duplicates by sequence number, and
+//! re-ack; transmitters retransmit on an ack timeout with exponential
+//! backoff. A [`FaultInjector`] sits on the delivery path of every final
+//! hop — payloads *and* acks — so every GRACEFUL profile plus sustained
+//! [`Lossy`](simkit::FaultProfile::Lossy)/[`Duplicate`](simkit::FaultProfile::Duplicate)
+//! delivery still converges to the fault-free values, with loss showing up
+//! as extra `link_wait` cycles rather than a dead run. The barrier
+//! releases only when the exchange fully quiesces: every payload applied
+//! in order, every flow acked, every queue drained.
+//!
+//! # Checkpointing and rollback
+//!
+//! A fault the transport cannot mask (a black-holed link, a stalled
+//! device) trips a watchdog. With [`RecoveryConfig`] enabled the fabric
+//! snapshots vertex state into a [`CheckpointStore`] at barrier
+//! boundaries, and answers a watchdog trip by rolling every shard back to
+//! the newest checkpoint, resetting the link protocol (which also clears
+//! the fault — a link reset re-arms [`simkit::FaultProfile::BlackHole`]'s grace
+//! window), and replaying. Attempts are bounded; what happened is
+//! recorded in the [`RecoveryReport`] of the result instead of a
+//! [`FabricError`].
 //!
 //! # Example
 //!
@@ -42,18 +65,21 @@
 //! assert_eq!(r.values, golden::run(&Algorithm::bfs(0), &g));
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::str::FromStr;
 use std::time::Instant;
 
 use algos::Algorithm;
 use graph::partition::DeviceMap;
-use graph::CooGraph;
+use graph::{CooGraph, Partitioner};
 use simkit::trace::{merge_events, EventKind, TraceConfig, TraceReport, Tracer, Track};
 use simkit::watchdog::{DiagnosticSection, DiagnosticSnapshot};
 use simkit::{Cycle, FaultConfig, FaultInjector, Fifo, Stats, Watchdog};
 
-use crate::config::{ExecutionMode, DEFAULT_WATCHDOG_CYCLES};
+use crate::checkpoint::{
+    Checkpoint, CheckpointStore, RecoveryAttempt, RecoveryCause, RecoveryConfig, RecoveryReport,
+};
+use crate::config::{ExecutionMode, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 use crate::pe::PeCycleBreakdown;
 use crate::run_config::RunConfig;
 use crate::system::{RunError, System};
@@ -93,6 +119,57 @@ impl FromStr for LinkTopology {
     }
 }
 
+/// Parameters of the per-flow ack/retransmit protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRetryConfig {
+    /// Initial retransmission timeout in cycles, measured from injection.
+    /// The fabric floors this at a few network round-trips so congested
+    /// (not lossy) links don't retransmit spuriously.
+    pub rto: Cycle,
+    /// Ceiling of the exponential backoff.
+    pub rto_cap: Cycle,
+    /// Retransmissions of a single payload before the flow is declared
+    /// dead ([`FabricError::LinkStalled`]).
+    pub max_attempts: u32,
+    /// Sliding-window size: unacked payloads a flow keeps in flight (and
+    /// buffers for retransmission) at once.
+    pub window: usize,
+    /// Out-of-order payloads a receiver holds per flow; anything beyond
+    /// is dropped and covered by retransmission.
+    pub reorder_window: usize,
+    /// Updates per payload message — update batches are chunked so a
+    /// single lost message costs one chunk, not the whole batch.
+    pub max_updates_per_message: usize,
+}
+
+impl Default for LinkRetryConfig {
+    fn default() -> Self {
+        LinkRetryConfig {
+            rto: 512,
+            rto_cap: 8192,
+            max_attempts: 16,
+            window: 32,
+            reorder_window: 64,
+            max_updates_per_message: 64,
+        }
+    }
+}
+
+impl LinkRetryConfig {
+    /// Panics unless the protocol parameters are usable.
+    pub fn validate(&self) {
+        assert!(self.rto > 0, "link rto must be nonzero");
+        assert!(self.rto_cap >= self.rto, "rto cap below rto");
+        assert!(self.max_attempts > 0, "at least one transmission attempt");
+        assert!(self.window > 0, "link window must be nonzero");
+        assert!(self.reorder_window > 0, "reorder window must be nonzero");
+        assert!(
+            self.max_updates_per_message > 0,
+            "payload chunk size must be nonzero"
+        );
+    }
+}
+
 /// Configuration of the inter-accelerator link network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkConfig {
@@ -111,6 +188,8 @@ pub struct LinkConfig {
     /// No-progress threshold for the exchange phase; `None` disables the
     /// fabric watchdog.
     pub watchdog_cycles: Option<Cycle>,
+    /// Ack/retransmit protocol parameters.
+    pub retry: LinkRetryConfig,
 }
 
 impl Default for LinkConfig {
@@ -123,6 +202,7 @@ impl Default for LinkConfig {
             queue_capacity: 64,
             fault: FaultConfig::none(),
             watchdog_cycles: Some(DEFAULT_WATCHDOG_CYCLES),
+            retry: LinkRetryConfig::default(),
         }
     }
 }
@@ -138,27 +218,99 @@ impl LinkConfig {
             self.queue_capacity > 0,
             "link queue capacity must be nonzero"
         );
+        self.retry.validate();
     }
 }
 
-/// One batched vertex-update message between two devices.
+/// Payload of one link message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkBody {
+    /// A sequenced chunk of vertex updates on the flow `src -> dst`.
+    Updates {
+        /// Per-flow sequence number, starting at 1.
+        seq: u64,
+        /// `(vertex, raw value)` updates carried by this chunk.
+        updates: Vec<(u32, u32)>,
+    },
+    /// Cumulative acknowledgement for the reverse flow `dst -> src`:
+    /// every payload with `seq <= cum` was received.
+    Ack {
+        /// Highest in-order sequence number received.
+        cum: u64,
+    },
+}
+
+/// One message between two devices (a payload chunk or an ack).
 #[derive(Debug, Clone)]
 pub struct LinkMessage {
     /// Originating device.
     pub src: usize,
-    /// Owning consumer device the updates are destined for.
+    /// Device the message is destined for.
     pub dst: usize,
-    /// `(vertex, raw value)` updates carried by this message.
-    pub updates: Vec<(u32, u32)>,
+    /// Payload or acknowledgement.
+    pub body: LinkBody,
     /// Last link index this message traversed (for trace attribution).
     last_link: usize,
 }
 
 impl LinkMessage {
     /// Message size in 32-bit words on the wire: header plus two words
-    /// per update.
+    /// per update, or header plus one word for an ack.
     pub fn words(&self, header_words: u32) -> u64 {
-        header_words as u64 + 2 * self.updates.len() as u64
+        match &self.body {
+            LinkBody::Updates { updates, .. } => header_words as u64 + 2 * updates.len() as u64,
+            LinkBody::Ack { .. } => header_words as u64 + 1,
+        }
+    }
+}
+
+/// Transmit side of one flow: sliding window plus retransmit buffer.
+#[derive(Debug, Default)]
+struct FlowTx {
+    /// Next sequence number to assign (sequences start at 1).
+    next_seq: u64,
+    /// Highest cumulatively acked sequence number.
+    cum_acked: u64,
+    /// Sent-but-unacked payloads, in sequence order (the bounded
+    /// retransmit buffer — its length never exceeds the window).
+    unacked: VecDeque<TxEntry>,
+    /// Chunks waiting for window space.
+    backlog: VecDeque<Vec<(u32, u32)>>,
+}
+
+#[derive(Debug)]
+struct TxEntry {
+    seq: u64,
+    updates: Vec<(u32, u32)>,
+    /// Cycle at which the pending ack times out.
+    deadline: Cycle,
+    /// Current timeout (doubles per retransmission up to the cap).
+    rto: Cycle,
+    /// Transmissions so far (1 = original only).
+    attempts: u32,
+}
+
+impl FlowTx {
+    fn quiesced(&self) -> bool {
+        self.unacked.is_empty() && self.backlog.is_empty()
+    }
+}
+
+/// Receive side of one flow: in-order cursor plus reorder window.
+#[derive(Debug)]
+struct FlowRx {
+    /// Sequence number the next in-order payload must carry.
+    next_expected: u64,
+    /// Out-of-order payloads held for reassembly.
+    reorder: BTreeMap<u64, Vec<(u32, u32)>>,
+}
+
+impl Default for FlowRx {
+    fn default() -> Self {
+        FlowRx {
+            next_expected: 1,
+            reorder: BTreeMap::new(),
+        }
     }
 }
 
@@ -177,12 +329,21 @@ struct LinkState {
     busy_cycles: u64,
     words: u64,
     messages: u64,
+    retransmits: u64,
+    acks: u64,
+    dup_drops: u64,
     tracer: Tracer,
 }
 
 impl LinkState {
     fn idle(&self) -> bool {
         self.q.is_empty() && self.inflight.is_empty()
+    }
+
+    fn reset_traffic(&mut self) {
+        self.q.clear();
+        self.inflight.clear();
+        self.busy_until = 0;
     }
 
     fn diagnostic(&self, i: usize) -> DiagnosticSection {
@@ -193,6 +354,9 @@ impl LinkState {
         s.push("messages", self.messages);
         s.push("words", self.words);
         s.push("busy_cycles", self.busy_cycles);
+        s.push("retransmits", self.retransmits);
+        s.push("acks", self.acks);
+        s.push("dup_drops", self.dup_drops);
         s
     }
 }
@@ -210,6 +374,12 @@ pub struct LinkStats {
     pub words: u64,
     /// Messages transferred.
     pub messages: u64,
+    /// Payloads retransmitted over this link (first hop of the flow).
+    pub retransmits: u64,
+    /// Acks delivered over this link (final hop of the reverse flow).
+    pub acks: u64,
+    /// Duplicate payloads discarded at this link's receiving device.
+    pub dup_drops: u64,
 }
 
 /// Aggregated link-network statistics of one fabric run.
@@ -220,14 +390,21 @@ pub struct LinkNetworkStats {
     /// Total cycles spent in exchange phases (the barrier-to-barrier link
     /// time added on top of compute).
     pub exchange_cycles: Cycle,
-    /// Messages injected by owner devices (before store-and-forward).
+    /// Payload chunks injected by owner devices (first transmissions
+    /// only; retransmissions and acks are counted separately).
     pub messages_sent: u64,
-    /// Messages delivered to their final consumer.
+    /// Payload chunks applied in order at their final consumer.
     pub messages_delivered: u64,
-    /// Messages dropped by the link fault injector.
+    /// Messages (payloads and acks) dropped by the link fault injector.
     pub messages_dropped: u64,
     /// Vertex updates carried (each is two payload words).
     pub updates: u64,
+    /// Payload retransmissions triggered by ack timeouts.
+    pub retransmissions: u64,
+    /// Cumulative acks delivered.
+    pub acks: u64,
+    /// Duplicate payloads discarded by receivers.
+    pub dup_drops: u64,
     /// Per-directed-link cumulative statistics.
     pub per_link: Vec<LinkStats>,
 }
@@ -275,6 +452,8 @@ pub struct FabricRunResult {
     pub pe_cycles: PeCycleBreakdown,
     /// Link-network statistics.
     pub link: LinkNetworkStats,
+    /// Checkpoint/rollback account (empty attempts when nothing tripped).
+    pub recovery: RecoveryReport,
     /// Link-track event stream (device-internal traces are not merged:
     /// track ids would collide across devices).
     pub trace: TraceReport,
@@ -310,7 +489,8 @@ pub enum FabricError {
         snapshot: Box<DiagnosticSnapshot>,
     },
     /// The link exchange made no progress for the fabric watchdog
-    /// threshold (e.g. a black-hole link fault starving the barrier).
+    /// threshold, or a payload exhausted its retransmission budget
+    /// (e.g. a black-hole link fault starving the barrier).
     LinkStalled(Box<DiagnosticSnapshot>),
 }
 
@@ -330,6 +510,16 @@ impl std::fmt::Display for FabricError {
 
 impl std::error::Error for FabricError {}
 
+/// Index of the link a message waiting at `at` takes toward `dst`.
+fn route_idx(topology: LinkTopology, n: usize, at: usize, dst: usize) -> usize {
+    debug_assert!(at != dst);
+    match topology {
+        // Links were built from-major with the self-link skipped.
+        LinkTopology::AllToAll => at * (n - 1) + if dst > at { dst - 1 } else { dst },
+        LinkTopology::Ring => at,
+    }
+}
+
 /// N sharded [`System`] devices joined by a cycle-level link network.
 #[derive(Debug)]
 pub struct Fabric {
@@ -344,11 +534,35 @@ pub struct Fabric {
     qs: usize,
     max_iter: u32,
     fault: FaultInjector<LinkMessage>,
+    /// Drops accumulated by fault injectors replaced on rollback.
+    dropped_carried: u64,
+    /// Effective initial retransmission timeout (configured rto floored
+    /// at a few worst-case round-trips).
+    rto_base: Cycle,
+    /// Per-flow transmit state, indexed `src * n + dst`.
+    flows_tx: Vec<FlowTx>,
+    /// Per-flow receive state, indexed `src * n + dst`.
+    flows_rx: Vec<FlowRx>,
     /// Cumulative exchange-phase cycles.
     exchange_cycles: Cycle,
     messages_sent: u64,
     messages_delivered: u64,
     updates_total: u64,
+    retransmits_total: u64,
+    acks_total: u64,
+    dup_drops_total: u64,
+    /// Rollback machinery: policy, checkpoint ring, and the materials to
+    /// rebuild devices from scratch (graph kept only when recovery is on).
+    recovery: Option<RecoveryConfig>,
+    store: CheckpointStore,
+    report: RecoveryReport,
+    graph: Option<CooGraph>,
+    partitioner: Partitioner,
+    sys_cfg: SystemConfig,
+    /// Stats harvested from devices torn down during recovery.
+    carried_stats: Stats,
+    carried_pe: PeCycleBreakdown,
+    tracer: Tracer,
     trace_cfg: TraceConfig,
 }
 
@@ -380,6 +594,20 @@ impl Fabric {
         let qs = devices[0].num_source_intervals();
         let max_iter = devices[0].resolved_max_iterations();
         let links = Self::build_links(n, &rc.link, &rc.trace);
+        // Floor the rto at two worst-case round-trips so congested (not
+        // lossy) links don't retransmit spuriously: a full chunk
+        // serialized at the configured bandwidth plus flight latency, per
+        // hop of the longest route.
+        let retry = rc.link.retry;
+        let hops = match rc.link.topology {
+            LinkTopology::AllToAll => 1,
+            LinkTopology::Ring => n.saturating_sub(1).max(1),
+        } as u64;
+        let chunk_words = rc.link.header_words as u64 + 2 * retry.max_updates_per_message as u64;
+        let ser = chunk_words
+            .div_ceil(rc.link.bandwidth_words_per_cycle as u64)
+            .max(1);
+        let rto_base = retry.rto.max(2 * hops * (ser + rc.link.latency) + 64);
         Fabric {
             qs,
             max_iter,
@@ -390,10 +618,26 @@ impl Fabric {
             links,
             mirror,
             fault: FaultInjector::new(rc.link.fault),
+            dropped_carried: 0,
+            rto_base,
+            flows_tx: (0..n * n).map(|_| FlowTx::default()).collect(),
+            flows_rx: (0..n * n).map(|_| FlowRx::default()).collect(),
             exchange_cycles: 0,
             messages_sent: 0,
             messages_delivered: 0,
             updates_total: 0,
+            retransmits_total: 0,
+            acks_total: 0,
+            dup_drops_total: 0,
+            recovery: rc.recovery,
+            store: CheckpointStore::new(rc.recovery.map(|r| r.retention).unwrap_or(1)),
+            report: RecoveryReport::default(),
+            graph: rc.recovery.map(|_| g.clone()),
+            partitioner,
+            sys_cfg: cfg,
+            carried_stats: Stats::new(),
+            carried_pe: PeCycleBreakdown::default(),
+            tracer: Tracer::for_track(Track::fabric(), &rc.trace),
             trace_cfg: rc.trace,
         }
     }
@@ -414,6 +658,9 @@ impl Fabric {
                 busy_cycles: 0,
                 words: 0,
                 messages: 0,
+                retransmits: 0,
+                acks: 0,
+                dup_drops: 0,
                 tracer: Tracer::for_track(Track::link(i), trace),
             });
         };
@@ -434,17 +681,6 @@ impl Fabric {
             }
         }
         links
-    }
-
-    /// Index of the link a message waiting at `at` takes toward `dst`.
-    fn route(&self, at: usize, dst: usize) -> usize {
-        let n = self.devices.len();
-        debug_assert!(at != dst);
-        match self.link_cfg.topology {
-            // Links were built from-major with the self-link skipped.
-            LinkTopology::AllToAll => at * (n - 1) + if dst > at { dst - 1 } else { dst },
-            LinkTopology::Ring => at,
-        }
     }
 
     /// Number of devices.
@@ -475,7 +711,10 @@ impl Fabric {
     }
 
     /// Runs to completion, reporting timeouts and stalls as structured
-    /// [`FabricError`]s.
+    /// [`FabricError`]s. When [`RecoveryConfig`] is set, watchdog trips
+    /// roll back to the newest checkpoint and replay instead (bounded by
+    /// `max_attempts`); the result's [`RecoveryReport`] records every
+    /// rollback.
     ///
     /// After any `Err` the partially simulated state is inconsistent; do
     /// not run the same instance again.
@@ -484,7 +723,8 @@ impl Fabric {
     ///
     /// [`FabricError::TimedOut`] when the host wall clock passes
     /// `deadline`; [`FabricError::DeviceStalled`] /
-    /// [`FabricError::LinkStalled`] when a watchdog trips.
+    /// [`FabricError::LinkStalled`] when a watchdog trips and recovery is
+    /// off or exhausted.
     pub fn run_to_outcome(
         &mut self,
         deadline: Option<Instant>,
@@ -495,7 +735,13 @@ impl Fabric {
         let mut edges_per_device = vec![0u64; n];
         let mut stepped = vec![false; n];
 
-        while iterations < self.max_iter {
+        // Implicit initial checkpoint: a failure in the very first
+        // iterations still has somewhere to roll back to.
+        if self.recovery.is_some() {
+            self.save_checkpoint(0, 0, &active, &edges_per_device);
+        }
+
+        'iterations: while iterations < self.max_iter {
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     return Err(FabricError::TimedOut);
@@ -513,19 +759,22 @@ impl Fabric {
             if total_jobs == 0 {
                 break;
             }
-            for (i, dev) in self.devices.iter_mut().enumerate() {
+            for i in 0..n {
                 if !stepped[i] {
                     continue;
                 }
-                edges_per_device[i] +=
-                    dev.step_iteration(iterations, deadline)
-                        .map_err(|e| match e {
-                            RunError::TimedOut => FabricError::TimedOut,
-                            RunError::Stalled(snapshot) => FabricError::DeviceStalled {
-                                device: i,
-                                snapshot,
-                            },
-                        })?;
+                match self.devices[i].step_iteration(iterations, deadline) {
+                    Ok(edges) => edges_per_device[i] += edges,
+                    Err(RunError::TimedOut) => return Err(FabricError::TimedOut),
+                    Err(RunError::Stalled(snapshot)) => {
+                        let err = FabricError::DeviceStalled {
+                            device: i,
+                            snapshot,
+                        };
+                        self.recover(err, &mut active, &mut iterations, &mut edges_per_device)?;
+                        continue 'iterations;
+                    }
+                }
             }
             iterations += 1;
 
@@ -561,7 +810,14 @@ impl Fabric {
             // Barrier + link exchange: devices park at the barrier while
             // the network carries the updates to every consumer replica.
             let barrier = self.devices.iter().map(System::now).max().unwrap_or(0);
-            let exchange = self.exchange(barrier, updates, deadline)?;
+            let exchange = match self.exchange(barrier, updates, deadline) {
+                Ok(exchange) => exchange,
+                Err(FabricError::TimedOut) => return Err(FabricError::TimedOut),
+                Err(err) => {
+                    self.recover(err, &mut active, &mut iterations, &mut edges_per_device)?;
+                    continue 'iterations;
+                }
+            };
             self.exchange_cycles += exchange;
             let resume = barrier + exchange;
             for dev in &mut self.devices {
@@ -569,6 +825,14 @@ impl Fabric {
             }
 
             active = next;
+
+            // Barrier checkpoint: mirror and replicas are globally
+            // consistent here, so this is a complete recovery point.
+            if let Some(rec) = self.recovery {
+                if iterations.is_multiple_of(rec.checkpoint_interval.max(1)) {
+                    self.save_checkpoint(iterations, resume, &active, &edges_per_device);
+                }
+            }
         }
 
         // Final barrier: align every device clock so `cycles` is the
@@ -578,6 +842,137 @@ impl Fabric {
             dev.wait_at_barrier(end);
         }
         Ok(self.finish(iterations, &edges_per_device))
+    }
+
+    /// Snapshots the globally consistent barrier state.
+    fn save_checkpoint(&mut self, iteration: u32, cycle: Cycle, active: &[bool], edges: &[u64]) {
+        self.store.save(Checkpoint {
+            iteration,
+            cycle,
+            values: self.mirror.clone(),
+            active: active.to_vec(),
+            edges: edges.to_vec(),
+        });
+        self.report.checkpoints_taken += 1;
+        self.tracer
+            .event(cycle, EventKind::CheckpointSave, iteration as u64);
+    }
+
+    /// Answers a watchdog trip: rolls every shard back to the newest
+    /// checkpoint, resets the link protocol (queues, flows, and the fault
+    /// injector — a link reset also re-arms a black-holed link's grace
+    /// window), and charges `reset_cycles` of downtime. Returns the
+    /// original error when recovery is off, exhausted, or impossible.
+    fn recover(
+        &mut self,
+        err: FabricError,
+        active: &mut Vec<bool>,
+        iterations: &mut u32,
+        edges: &mut [u64],
+    ) -> Result<(), FabricError> {
+        let Some(rec) = self.recovery else {
+            return Err(err);
+        };
+        if self.report.attempts.len() as u32 >= rec.max_attempts {
+            return Err(err);
+        }
+        let Some(ckpt) = self.store.latest().cloned() else {
+            return Err(err);
+        };
+        let cause = match &err {
+            FabricError::DeviceStalled { device, .. } => {
+                RecoveryCause::DeviceStalled { device: *device }
+            }
+            FabricError::LinkStalled(_) => RecoveryCause::LinkStalled,
+            FabricError::TimedOut => return Err(err),
+        };
+        let crash = self.devices.iter().map(System::now).max().unwrap_or(0);
+        let resume = crash + rec.reset_cycles;
+
+        match cause {
+            RecoveryCause::DeviceStalled { .. } => {
+                // The stalled device is wedged mid-iteration and its peers
+                // hold partially advanced state: rebuild every shard from
+                // the graph and reload the checkpointed values.
+                self.rebuild_devices(&ckpt, resume);
+            }
+            RecoveryCause::LinkStalled => {
+                // Devices are parked at the barrier with clean pipelines;
+                // reloading `V_in` is sufficient (the MOMS caches are a
+                // timing model — data is read from the image at response
+                // time, so no invalidation is needed).
+                for dev in &mut self.devices {
+                    for (v, &val) in ckpt.values.iter().enumerate() {
+                        dev.write_node_in(v as u32, val);
+                    }
+                    dev.wait_at_barrier(resume);
+                }
+            }
+        }
+
+        self.mirror.copy_from_slice(&ckpt.values);
+        *active = ckpt.active.clone();
+        *iterations = ckpt.iteration;
+        edges.copy_from_slice(&ckpt.edges);
+        self.reset_network();
+        self.tracer
+            .event(resume, EventKind::Rollback, ckpt.iteration as u64);
+        let cycles_lost = resume.saturating_sub(ckpt.cycle);
+        self.report.attempts.push(RecoveryAttempt {
+            cause,
+            at_cycle: crash,
+            resumed_iteration: ckpt.iteration,
+            cycles_lost,
+        });
+        self.report.total_cycles_lost += cycles_lost;
+        Ok(())
+    }
+
+    /// Replaces every device with a freshly built shard loaded from
+    /// `ckpt`, harvesting the torn-down devices' statistics first.
+    fn rebuild_devices(&mut self, ckpt: &Checkpoint, resume: Cycle) {
+        for dev in &mut self.devices {
+            let r = dev.finish(0, 0);
+            self.carried_stats.merge(&r.stats);
+            self.carried_pe.accumulate(&r.metrics.pe_cycles);
+        }
+        let g = self
+            .graph
+            .as_ref()
+            .expect("recovery keeps the source graph");
+        let n = self.devices.len();
+        let partitioner = self.partitioner;
+        let algo = self.algo;
+        let cfg = self.sys_cfg.clone();
+        self.devices = (0..n)
+            .map(|dev| {
+                let local = self.map.extract_local(g, dev);
+                System::new_sharded(g, &local, partitioner, algo, cfg.clone())
+            })
+            .collect();
+        for dev in &mut self.devices {
+            for (v, &val) in ckpt.values.iter().enumerate() {
+                dev.write_node_in(v as u32, val);
+            }
+            dev.align_clock(resume);
+        }
+    }
+
+    /// Clears every link queue, resets all flow protocol state, and
+    /// replaces the fault injector (same config and seed: the schedule is
+    /// deterministic per reset epoch).
+    fn reset_network(&mut self) {
+        for link in &mut self.links {
+            link.reset_traffic();
+        }
+        for tx in &mut self.flows_tx {
+            *tx = FlowTx::default();
+        }
+        for rx in &mut self.flows_rx {
+            *rx = FlowRx::default();
+        }
+        self.dropped_carried += self.fault.dropped();
+        self.fault = FaultInjector::new(self.link_cfg.fault);
     }
 
     /// Per-owner changed `(vertex, value)` lists, updating the mirror.
@@ -596,9 +991,47 @@ impl Fabric {
         updates
     }
 
+    /// Admits backlogged chunks of `flow` (from device `src` to `dst`)
+    /// into the sliding window, handing the messages to `outbox`.
+    fn pump_flow(
+        flow: &mut FlowTx,
+        src: usize,
+        dst: usize,
+        now: Cycle,
+        rto_base: Cycle,
+        window: usize,
+        outbox: &mut [VecDeque<LinkMessage>],
+    ) {
+        while flow.unacked.len() < window {
+            let Some(updates) = flow.backlog.pop_front() else {
+                break;
+            };
+            flow.next_seq += 1;
+            let seq = flow.next_seq;
+            outbox[src].push_back(LinkMessage {
+                src,
+                dst,
+                body: LinkBody::Updates {
+                    seq,
+                    updates: updates.clone(),
+                },
+                last_link: usize::MAX,
+            });
+            flow.unacked.push_back(TxEntry {
+                seq,
+                updates,
+                deadline: now + rto_base,
+                rto: rto_base,
+                attempts: 1,
+            });
+        }
+    }
+
     /// Simulates one barrier exchange starting at absolute cycle `start`;
     /// returns its length in cycles. Updates are applied to every
-    /// consumer replica as their messages are delivered.
+    /// consumer replica as their payloads are delivered in order; the
+    /// exchange ends when the network fully quiesces (every payload
+    /// applied, every flow acked, every queue drained).
     fn exchange(
         &mut self,
         start: Cycle,
@@ -609,8 +1042,10 @@ impl Fabric {
         if n < 2 {
             return Ok(0);
         }
-        // Owner broadcasts: one unicast message per (owner, consumer)
-        // pair; the topology decides the path and cost.
+        let retry = self.link_cfg.retry;
+        let topology = self.link_cfg.topology;
+        // Owner broadcasts: sequenced payload chunks per (owner, consumer)
+        // flow; the topology decides the path and cost.
         let mut outbox: Vec<VecDeque<LinkMessage>> = vec![VecDeque::new(); n];
         let mut expected = 0u64;
         for (src, list) in updates.into_iter().enumerate() {
@@ -622,13 +1057,20 @@ impl Fabric {
                 if dst == src {
                     continue;
                 }
-                outbox[src].push_back(LinkMessage {
+                let flow = &mut self.flows_tx[src * n + dst];
+                for chunk in list.chunks(retry.max_updates_per_message) {
+                    flow.backlog.push_back(chunk.to_vec());
+                    expected += 1;
+                }
+                Self::pump_flow(
+                    flow,
                     src,
                     dst,
-                    updates: list.clone(),
-                    last_link: usize::MAX,
-                });
-                expected += 1;
+                    start,
+                    self.rto_base,
+                    retry.window,
+                    &mut outbox,
+                );
             }
         }
         self.messages_sent += expected;
@@ -673,28 +1115,152 @@ impl Fabric {
                 }
             }
 
-            // 2. Deliveries: apply every update of each released message
-            //    to the consumer's replica.
+            // 2. Deliveries: released payloads are deduped/reassembled per
+            //    flow and applied in order; every payload arrival is
+            //    answered with a cumulative ack; released acks advance the
+            //    transmit window.
             while let Some(msg) = self.fault.pop_ready(now) {
                 let li = msg.last_link;
-                self.links[li]
-                    .tracer
-                    .event(now, EventKind::LinkRx, msg.src as u64);
-                for &(v, val) in &msg.updates {
-                    self.devices[msg.dst].write_node_in(v, val);
-                }
-                delivered += 1;
-                if let Some(w) = &mut watchdog {
-                    w.note_progress(now);
+                match msg.body {
+                    LinkBody::Updates { seq, updates } => {
+                        let flow = &mut self.flows_rx[msg.src * n + msg.dst];
+                        if seq < flow.next_expected || flow.reorder.contains_key(&seq) {
+                            // Already applied or already held: discard,
+                            // but re-ack (the original ack may be lost).
+                            self.links[li].dup_drops += 1;
+                            self.dup_drops_total += 1;
+                            self.links[li]
+                                .tracer
+                                .event(now, EventKind::LinkDupDrop, seq);
+                        } else if seq == flow.next_expected {
+                            self.links[li]
+                                .tracer
+                                .event(now, EventKind::LinkRx, msg.src as u64);
+                            for &(v, val) in &updates {
+                                self.devices[msg.dst].write_node_in(v, val);
+                            }
+                            flow.next_expected += 1;
+                            delivered += 1;
+                            // Reassemble any consecutive held payloads.
+                            while let Some(held) = flow.reorder.remove(&flow.next_expected) {
+                                for &(v, val) in &held {
+                                    self.devices[msg.dst].write_node_in(v, val);
+                                }
+                                flow.next_expected += 1;
+                                delivered += 1;
+                            }
+                            if let Some(w) = &mut watchdog {
+                                w.note_progress(now);
+                            }
+                        } else if flow.reorder.len() < retry.reorder_window {
+                            self.links[li]
+                                .tracer
+                                .event(now, EventKind::LinkRx, msg.src as u64);
+                            flow.reorder.insert(seq, updates);
+                        }
+                        // Beyond the reorder window the payload is
+                        // silently discarded; retransmission covers it.
+                        let cum = flow.next_expected - 1;
+                        outbox[msg.dst].push_back(LinkMessage {
+                            src: msg.dst,
+                            dst: msg.src,
+                            body: LinkBody::Ack { cum },
+                            last_link: usize::MAX,
+                        });
+                    }
+                    LinkBody::Ack { cum } => {
+                        self.links[li].acks += 1;
+                        self.acks_total += 1;
+                        self.links[li].tracer.event(now, EventKind::LinkAck, cum);
+                        let flow = &mut self.flows_tx[msg.dst * n + msg.src];
+                        if cum > flow.cum_acked {
+                            flow.cum_acked = cum;
+                            while flow.unacked.front().is_some_and(|e| e.seq <= cum) {
+                                flow.unacked.pop_front();
+                            }
+                            Self::pump_flow(
+                                flow,
+                                msg.dst,
+                                msg.src,
+                                now,
+                                self.rto_base,
+                                retry.window,
+                                &mut outbox,
+                            );
+                            if let Some(w) = &mut watchdog {
+                                w.note_progress(now);
+                            }
+                        }
+                    }
                 }
             }
-            if delivered == expected {
+
+            // 3. Quiesce check: every payload applied in order, every
+            //    flow's window empty, nothing queued, staged, in flight,
+            //    or held by the injector.
+            if delivered == expected
+                && self.flows_tx.iter().all(FlowTx::quiesced)
+                && self.links.iter().all(LinkState::idle)
+                && self.fault.pending() == 0
+                && outbox.iter().all(VecDeque::is_empty)
+            {
                 self.messages_delivered += delivered;
                 // The exchange ends one cycle after the last delivery.
                 return Ok(t + 1);
             }
 
-            // 3. Serialization: an idle link starts transmitting the
+            // 4. Retransmissions: unacked payloads whose timeout elapsed
+            //    re-enter the network with doubled timeouts; a payload
+            //    that exhausts its attempts declares the flow dead.
+            let mut exhausted = false;
+            #[allow(clippy::needless_range_loop)] // outbox is pushed to while flows are iterated
+            'scan: for src in 0..n {
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    let li = route_idx(topology, n, src, dst);
+                    let flow = &mut self.flows_tx[src * n + dst];
+                    for entry in &mut flow.unacked {
+                        if now < entry.deadline {
+                            continue;
+                        }
+                        if entry.attempts >= retry.max_attempts {
+                            exhausted = true;
+                            break 'scan;
+                        }
+                        entry.attempts += 1;
+                        entry.rto = (entry.rto * 2).min(retry.rto_cap);
+                        entry.deadline = now + entry.rto;
+                        self.links[li].retransmits += 1;
+                        self.retransmits_total += 1;
+                        self.links[li]
+                            .tracer
+                            .event(now, EventKind::LinkRetransmit, entry.seq);
+                        outbox[src].push_back(LinkMessage {
+                            src,
+                            dst,
+                            body: LinkBody::Updates {
+                                seq: entry.seq,
+                                updates: entry.updates.clone(),
+                            },
+                            last_link: usize::MAX,
+                        });
+                    }
+                }
+            }
+            if exhausted {
+                self.exchange_cycles += t;
+                self.messages_delivered += delivered;
+                return Err(FabricError::LinkStalled(Box::new(self.link_diagnostics(
+                    now,
+                    watchdog.as_ref(),
+                    expected,
+                    delivered,
+                ))));
+            }
+
+            // 5. Serialization: an idle link starts transmitting the
             //    oldest queued message.
             for link in &mut self.links {
                 if now < link.busy_until || link.q.visible_len() == 0 {
@@ -711,12 +1277,12 @@ impl Fabric {
                 link.inflight.push_back((now + ser + latency, msg));
             }
 
-            // 4. Routing: devices inject waiting messages into their
+            // 6. Routing: devices inject waiting messages into their
             //    outgoing link queues while there is room (bounded queues
             //    exert backpressure).
             for (at, waiting) in outbox.iter_mut().enumerate() {
                 while let Some(front) = waiting.front() {
-                    let li = self.route(at, front.dst);
+                    let li = route_idx(topology, n, at, front.dst);
                     if !self.links[li].q.can_push() {
                         break;
                     }
@@ -725,16 +1291,21 @@ impl Fabric {
                 }
             }
 
-            // 5. Clock edge: staged queue entries become visible.
+            // 7. Clock edge: staged queue entries become visible.
             for link in &mut self.links {
                 link.q.tick();
             }
 
             if let Some(w) = &watchdog {
                 if w.is_stalled(now) {
-                    return Err(FabricError::LinkStalled(Box::new(
-                        self.link_diagnostics(now, w, expected, delivered),
-                    )));
+                    self.exchange_cycles += t;
+                    self.messages_delivered += delivered;
+                    return Err(FabricError::LinkStalled(Box::new(self.link_diagnostics(
+                        now,
+                        Some(w),
+                        expected,
+                        delivered,
+                    ))));
                 }
             }
             if t.is_multiple_of(4096) {
@@ -751,17 +1322,53 @@ impl Fabric {
     fn link_diagnostics(
         &self,
         now: Cycle,
-        watchdog: &Watchdog,
+        watchdog: Option<&Watchdog>,
         expected: u64,
         delivered: u64,
     ) -> DiagnosticSnapshot {
+        let n = self.devices.len();
         let mut sections = Vec::new();
         let mut fabric = DiagnosticSection::new("fabric");
-        fabric.push("devices", self.devices.len());
+        fabric.push("devices", n);
         fabric.push("topology", self.link_cfg.topology.name());
         fabric.push("expected_messages", expected);
         fabric.push("delivered_messages", delivered);
+        fabric.push("retransmissions", self.retransmits_total);
+        fabric.push("acks", self.acks_total);
+        fabric.push("dup_drops", self.dup_drops_total);
+        fabric.push("recovery_attempts", self.report.attempts.len());
         sections.push(fabric);
+        // Transport state of every flow that still has protocol work in
+        // flight — the first thing to read on a stall.
+        let mut transport = DiagnosticSection::new("transport");
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let tx = &self.flows_tx[src * n + dst];
+                let rx = &self.flows_rx[src * n + dst];
+                if tx.quiesced() && rx.reorder.is_empty() {
+                    continue;
+                }
+                transport.push(
+                    format!("flow[{src}->{dst}]"),
+                    format!(
+                        "next_seq={} cum_acked={} unacked={} backlog={} \
+                         rx_expected={} reorder_held={}",
+                        tx.next_seq,
+                        tx.cum_acked,
+                        tx.unacked.len(),
+                        tx.backlog.len(),
+                        rx.next_expected,
+                        rx.reorder.len()
+                    ),
+                );
+            }
+        }
+        if !transport.entries.is_empty() {
+            sections.push(transport);
+        }
         for (i, link) in self.links.iter().enumerate() {
             if !link.idle() || link.messages > 0 {
                 sections.push(link.diagnostic(i));
@@ -770,8 +1377,8 @@ impl Fabric {
         sections.push(self.fault.diagnostic());
         DiagnosticSnapshot {
             cycle: now,
-            last_progress: watchdog.last_progress(),
-            threshold: watchdog.threshold(),
+            last_progress: watchdog.map_or(now, Watchdog::last_progress),
+            threshold: watchdog.map_or(0, Watchdog::threshold),
             sections,
         }
     }
@@ -783,6 +1390,8 @@ impl Fabric {
         let mut values = vec![0u32; self.mirror.len()];
         let mut stats = Stats::new();
         let mut pe_cycles = PeCycleBreakdown::default();
+        stats.merge(&self.carried_stats);
+        pe_cycles.accumulate(&self.carried_pe);
         for (i, dev) in self.devices.iter_mut().enumerate() {
             let r = dev.finish(iterations, edges_per_device[i]);
             let nodes = self.map.device_nodes(i);
@@ -800,15 +1409,20 @@ impl Fabric {
                 busy_cycles: l.busy_cycles,
                 words: l.words,
                 messages: l.messages,
+                retransmits: l.retransmits,
+                acks: l.acks,
+                dup_drops: l.dup_drops,
             })
             .collect();
-        let dropped_events: u64 = self.links.iter().map(|l| l.tracer.dropped()).sum();
-        let link_events = merge_events(
-            self.links
-                .iter_mut()
-                .map(|l| l.tracer.take())
-                .collect::<Vec<_>>(),
-        );
+        let dropped_events: u64 =
+            self.links.iter().map(|l| l.tracer.dropped()).sum::<u64>() + self.tracer.dropped();
+        let mut streams: Vec<_> = self
+            .links
+            .iter_mut()
+            .map(|l| l.tracer.take())
+            .collect::<Vec<_>>();
+        streams.push(self.tracer.take());
+        let link_events = merge_events(streams);
         let trace = if self.trace_cfg.records_events() {
             TraceReport {
                 events: link_events,
@@ -832,10 +1446,14 @@ impl Fabric {
                 exchange_cycles: self.exchange_cycles,
                 messages_sent: self.messages_sent,
                 messages_delivered: self.messages_delivered,
-                messages_dropped: self.fault.dropped(),
+                messages_dropped: self.dropped_carried + self.fault.dropped(),
                 updates: self.updates_total,
+                retransmissions: self.retransmits_total,
+                acks: self.acks_total,
+                dup_drops: self.dup_drops_total,
                 per_link,
             },
+            recovery: std::mem::take(&mut self.report),
             trace,
         }
     }

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod fabric;
@@ -43,9 +44,15 @@ pub mod pe;
 pub mod run_config;
 pub mod system;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointStore, RecoveryAttempt, RecoveryCause, RecoveryConfig, RecoveryReport,
+};
 pub use config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 pub use driver::Driver;
-pub use fabric::{Fabric, FabricError, FabricRunResult, LinkConfig, LinkTopology};
+pub use fabric::{
+    Fabric, FabricError, FabricRunResult, LinkConfig, LinkNetworkStats, LinkRetryConfig, LinkStats,
+    LinkTopology,
+};
 pub use pe::{Pe, PeCycleBreakdown};
 pub use run_config::{CacheVariant, RunConfig};
 pub use system::{MetricsSnapshot, PeStallBreakdown, RunError, RunResult, System};

@@ -11,6 +11,7 @@ use graph::Partitioner;
 use moms::MomsSystemConfig;
 use simkit::{Cycle, FaultConfig, TraceConfig};
 
+use crate::checkpoint::RecoveryConfig;
 use crate::config::{ExecutionMode, PeConfig, SystemConfig, DEFAULT_WATCHDOG_CYCLES};
 use crate::fabric::LinkConfig;
 
@@ -84,6 +85,9 @@ pub struct RunConfig {
     /// Inter-accelerator link network parameters (only meaningful when
     /// `devices > 1`).
     pub link: LinkConfig,
+    /// Checkpoint/rollback recovery policy for fabric runs; `None`
+    /// (default) surfaces watchdog trips as [`crate::FabricError`]s.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl RunConfig {
@@ -105,6 +109,7 @@ impl RunConfig {
             idle_skip: true,
             devices: 1,
             link: LinkConfig::default(),
+            recovery: None,
         }
     }
 

@@ -637,6 +637,13 @@ impl System {
         }
     }
 
+    /// Aligns this device's clock to `to` without attributing the gap to
+    /// any stall class — for freshly built replacement devices joining a
+    /// fabric mid-run after a rollback, whose PEs did not actually wait.
+    pub fn align_clock(&mut self, to: Cycle) {
+        self.now = self.now.max(to);
+    }
+
     /// Gathers final values, merged statistics, and metrics into the
     /// [`RunResult`] for a run that executed `iterations` iterations and
     /// processed `edges_total` edges.

@@ -7,12 +7,14 @@
 //!                    [--out PATH] [--format json|csv]
 //!                    [--fault-profile P] [--fault-seed N]
 //!                    [--watchdog-cycles N]
+//!                    [--link-fault-profile P] [--link-fault-seed N]
+//!                    [--link-retry CYCLES] [--checkpoint-interval N]
 //!                    [--trace PATH] [--trace-level events|counters]
 //!                    [--trace-window START:END]
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 ablate sweep syncasync paperscale related
-//!              explain fabric perf all
+//!              explain fabric chaos-fabric perf all
 //! --full           all 12 benchmarks and all 7 architectures (slow)
 //! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
 //! --jobs N         worker threads for engine-driven experiments
@@ -35,8 +37,19 @@
 //!
 //! `fabric` sweeps the multi-accelerator scale-out space (device count ×
 //! link bandwidth × topology, BFS and PageRank) and exports per-point
-//! cycles, GTEPS, and link occupancy; `--fault-profile` applies to each
-//! device's DRAM completions as usual.
+//! cycles, GTEPS, link occupancy, and transport counters;
+//! `--fault-profile` applies to each device's DRAM completions as usual,
+//! while `--link-fault-profile`/`--link-fault-seed` target the link
+//! network's delivery path (the reliable transport retransmits around
+//! loss). `--link-retry` sets the transport's initial retransmission
+//! timeout; `--checkpoint-interval N` enables checkpoint-rollback
+//! recovery with a snapshot every N barriers (0 = off).
+//!
+//! `chaos-fabric` runs the reliability sweep: BFS under every graceful
+//! link-fault profile plus sustained loss and duplication on 2- and
+//! 4-device fabrics (each row validated golden-exact), plus black-hole
+//! rows that complete through checkpoint rollback. A row that stalls
+//! anyway exits nonzero with a one-line structured summary.
 //!
 //! `perf` measures host throughput (simulated cycles and executed host
 //! ticks per wall-clock second, per point) and writes `BENCH_<date>.json`
@@ -84,11 +97,22 @@ fn main() {
         usage("--smoke only applies to the perf experiment");
     }
 
-    // `fabric` exports its own richer record type (link columns), so it
-    // renders `--out` directly instead of going through the recorder.
+    // `fabric` and `chaos-fabric` export their own richer record types
+    // (link/reliability columns), so they render `--out` directly instead
+    // of going through the recorder. A stalled or timed-out point becomes
+    // a one-line structured error and a nonzero exit, not a panic.
     if which == "fabric" {
-        let points = experiments::fabric::sweep(scope);
+        let points = experiments::fabric::sweep(scope).unwrap_or_else(|msg| die(&msg));
         print!("{}", experiments::fabric::render(&points));
+        if let Some(path) = flags.out_path {
+            write_or_die(&path, &flags.format.render(&points));
+            eprintln!("wrote {} result rows to {path}", points.len());
+        }
+        return;
+    }
+    if which == "chaos-fabric" {
+        let points = experiments::chaos_fabric::sweep(scope).unwrap_or_else(|msg| die(&msg));
+        print!("{}", experiments::chaos_fabric::render(&points));
         if let Some(path) = flags.out_path {
             write_or_die(&path, &flags.format.render(&points));
             eprintln!("wrote {} result rows to {path}", points.len());
@@ -120,7 +144,9 @@ fn main() {
         "paperscale" => print!("{}", experiments::paperscale::run()),
         "related" => print!("{}", experiments::related_work::run(scope)),
         "explain" => print!("{}", bench::explain::run(scope)),
-        "fabric" | "perf" => unreachable!("dispatched before the engine recorder"),
+        "fabric" | "chaos-fabric" | "perf" => {
+            unreachable!("dispatched before the engine recorder")
+        }
         other => usage(&format!("unknown experiment {other}")),
     };
 
@@ -173,9 +199,15 @@ fn main() {
 
 fn write_or_die(path: &str, rendered: &str) {
     if let Err(e) = std::fs::write(path, rendered) {
-        eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(1);
+        die(&format!("cannot write {path}: {e}"));
     }
+}
+
+/// One-line structured error to stderr, then a nonzero exit (distinct
+/// from the usage exit code 2).
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 /// Renders one trace report in the format implied by the path extension
@@ -216,11 +248,15 @@ fn suffixed_path(path: &str, label: &str) -> String {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|fabric|perf|all> \
+        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|fabric|\
+         chaos-fabric|perf|all> \
          [--full] [--smoke] [--shrink N] [--jobs N] [--timeout-secs S] \
          [--out PATH] [--format json|csv] \
          [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \
          [--fault-seed N] [--watchdog-cycles N] \
+         [--link-fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole|\
+         lossy[:permille]|duplicate] \
+         [--link-fault-seed N] [--link-retry CYCLES] [--checkpoint-interval N] \
          [--trace PATH] [--trace-level events|counters] [--trace-window START:END]"
     );
     std::process::exit(2);

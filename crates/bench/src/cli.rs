@@ -57,7 +57,8 @@ pub struct CommonFlags {
     /// Experiment scope (`--full`, `--shrink`).
     pub scope: Scope,
     /// Engine overlay (`--jobs`, `--timeout-secs`, `--fault-*`,
-    /// `--watchdog-cycles`, `--trace-level`, `--trace-window`).
+    /// `--watchdog-cycles`, `--link-fault-*`, `--link-retry`,
+    /// `--checkpoint-interval`, `--trace-level`, `--trace-window`).
     pub engine: EngineConfig,
     /// `--out PATH` structured-result export.
     pub out_path: Option<String>,
@@ -116,6 +117,27 @@ impl CommonFlags {
             }
             "--watchdog-cycles" => {
                 self.engine.watchdog_cycles = Some(cur.value("--watchdog-cycles needs a number")?);
+            }
+            "--link-fault-profile" => {
+                self.engine.link_fault.profile = cur.value(
+                    "--link-fault-profile is one of \
+                     none|delay|reorder|nack|chaos-lite|chaos|black-hole|\
+                     lossy[:permille]|duplicate",
+                )?;
+            }
+            "--link-fault-seed" => {
+                self.engine.link_fault.seed = cur.value("--link-fault-seed needs a number")?;
+            }
+            "--link-retry" => {
+                let rto: u64 = cur.value("--link-retry needs a cycle count")?;
+                if rto == 0 {
+                    return Err("--link-retry must be nonzero".to_owned());
+                }
+                self.engine.link_retry = Some(rto);
+            }
+            "--checkpoint-interval" => {
+                self.engine.checkpoint_interval =
+                    cur.value("--checkpoint-interval needs a barrier count (0 = off)")?;
             }
             "--trace" => {
                 self.trace_path = Some(cur.next().ok_or("--trace needs a path")?);
@@ -209,6 +231,30 @@ mod tests {
         assert!(parse(&["--shrink"]).is_err());
         assert!(parse(&["--shrink", "abc"]).is_err());
         assert!(parse(&["--trace-window", "9:3"]).is_err());
+        assert!(parse(&["--link-retry", "0"]).is_err());
+        assert!(parse(&["--link-fault-profile", "lossy:2000"]).is_err());
+    }
+
+    #[test]
+    fn link_reliability_flags_parse() {
+        let (flags, _) = parse(&[
+            "--link-fault-profile",
+            "lossy:250",
+            "--link-fault-seed",
+            "11",
+            "--link-retry",
+            "600",
+            "--checkpoint-interval",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            flags.engine.link_fault.profile,
+            FaultProfile::Lossy { permille: 250 }
+        );
+        assert_eq!(flags.engine.link_fault.seed, 11);
+        assert_eq!(flags.engine.link_retry, Some(600));
+        assert_eq!(flags.engine.checkpoint_interval, 2);
     }
 
     #[test]

@@ -261,6 +261,16 @@ pub struct EngineConfig {
     /// Tracing configuration applied to every simulated point (default:
     /// off — every trace hook stays a dead branch).
     pub trace: simkit::TraceConfig,
+    /// Fault-injection schedule applied to the fabric link network of
+    /// multi-device experiments (default: no faults). Independent of
+    /// `fault`, which targets DRAM completions.
+    pub link_fault: simkit::FaultConfig,
+    /// Override for the reliable transport's initial retransmission
+    /// timeout in cycles (`--link-retry`); `None` keeps the default.
+    pub link_retry: Option<u64>,
+    /// Fabric checkpoint interval in barriers (`--checkpoint-interval`);
+    /// 0 disables checkpoint/rollback recovery.
+    pub checkpoint_interval: u32,
 }
 
 impl EngineConfig {
@@ -306,6 +316,12 @@ static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
             window: None,
             sample_period: 1024,
         },
+        link_fault: simkit::FaultConfig {
+            profile: simkit::FaultProfile::None,
+            seed: 0,
+        },
+        link_retry: None,
+        checkpoint_interval: 0,
     },
     recorder: None,
     traces: None,

@@ -900,8 +900,41 @@ pub mod sweep {
 /// `repro fabric`: scale-out sweep over device count × link bandwidth.
 pub mod fabric {
     use super::*;
-    use accel::Fabric;
+    use accel::{Fabric, FabricError, RecoveryConfig, RunConfig};
     use simkit::record::{Record, Value};
+
+    /// One-line structured summary of a fabric failure, for stderr and
+    /// nonzero-exit reporting (the full multi-section diagnostic stays in
+    /// the `Display` of [`FabricError`]).
+    pub fn error_summary(e: &FabricError) -> String {
+        match e {
+            FabricError::TimedOut => "outcome=timed-out".to_owned(),
+            FabricError::DeviceStalled { device, snapshot } => format!(
+                "outcome=device-stalled device={device} cycle={} last_progress={} threshold={}",
+                snapshot.cycle, snapshot.last_progress, snapshot.threshold
+            ),
+            FabricError::LinkStalled(s) => format!(
+                "outcome=link-stalled cycle={} last_progress={} threshold={}",
+                s.cycle, s.last_progress, s.threshold
+            ),
+        }
+    }
+
+    /// Applies the process-wide link-reliability overlay (`--link-fault-*`,
+    /// `--link-retry`, `--checkpoint-interval`) to a fabric run config.
+    pub fn apply_link_overlay(rc: &mut RunConfig, eng: &crate::engine::EngineConfig) {
+        rc.link.fault = eng.link_fault;
+        if let Some(rto) = eng.link_retry {
+            rc.link.retry.rto = rto;
+            rc.link.retry.rto_cap = rc.link.retry.rto_cap.max(rto);
+        }
+        if eng.checkpoint_interval > 0 {
+            rc.recovery = Some(RecoveryConfig {
+                checkpoint_interval: eng.checkpoint_interval,
+                ..RecoveryConfig::default()
+            });
+        }
+    }
 
     /// One simulated point of the scale-out sweep.
     #[derive(Debug, Clone)]
@@ -936,6 +969,17 @@ pub mod fabric {
         pub messages: u64,
         /// Remote vertex updates carried.
         pub updates: u64,
+        /// Payload retransmissions triggered by ack timeouts.
+        pub retransmits: u64,
+        /// Cumulative acks delivered.
+        pub acks: u64,
+        /// Duplicate payloads discarded by receivers.
+        pub dup_drops: u64,
+        /// Checkpoint rollbacks performed during the run.
+        pub recovery_attempts: u64,
+        /// Simulated cycles discarded plus reset downtime over all
+        /// rollbacks.
+        pub recovery_cycles_lost: u64,
     }
 
     impl Record for FabricPoint {
@@ -956,6 +1000,14 @@ pub mod fabric {
                 ("link_occupancy_peak", Value::from(self.link_occupancy_peak)),
                 ("messages", Value::from(self.messages)),
                 ("updates", Value::from(self.updates)),
+                ("retransmits", Value::from(self.retransmits)),
+                ("acks", Value::from(self.acks)),
+                ("dup_drops", Value::from(self.dup_drops)),
+                ("recovery_attempts", Value::from(self.recovery_attempts)),
+                (
+                    "recovery_cycles_lost",
+                    Value::from(self.recovery_cycles_lost),
+                ),
             ]
         }
     }
@@ -964,7 +1016,13 @@ pub mod fabric {
     /// bandwidths of 1/4/16 words per cycle (multi-device only — a
     /// 1-device fabric has no links), plus one ring-topology series at
     /// the default bandwidth.
-    pub fn sweep(scope: Scope) -> Vec<FabricPoint> {
+    ///
+    /// # Errors
+    ///
+    /// A point that stalls or times out (possible under `--link-fault-*`)
+    /// aborts the sweep with a one-line structured summary naming the
+    /// point — the `repro` binary turns it into a nonzero exit.
+    pub fn sweep(scope: Scope) -> Result<Vec<FabricPoint>, String> {
         let arch = ArchPoint::two_level_16_16();
         let bench = BenchmarkId::Wt;
         let mut spec = spec_for(arch, &scope);
@@ -992,7 +1050,18 @@ pub mod fabric {
                         if let Some(wc) = eng.watchdog_cycles {
                             rc.watchdog_cycles = (wc > 0).then_some(wc);
                         }
-                        let r = Fabric::new(&g, algo, &rc).run();
+                        apply_link_overlay(&mut rc, &eng);
+                        let r = Fabric::new(&g, algo, &rc)
+                            .run_to_outcome(None)
+                            .map_err(|e| {
+                                format!(
+                                    "fabric {}/{} devices={devices} topology={} link_bw={bw}: {}",
+                                    bench.tag(),
+                                    algo.name(),
+                                    topology.name(),
+                                    error_summary(&e)
+                                )
+                            })?;
                         let freq = arch.frequency_mhz(spec.channels, &algo);
                         out.push(FabricPoint {
                             bench: bench.tag().to_owned(),
@@ -1010,12 +1079,17 @@ pub mod fabric {
                             link_occupancy_peak: r.link.peak_occupancy(r.cycles),
                             messages: r.link.messages_delivered,
                             updates: r.link.updates,
+                            retransmits: r.link.retransmissions,
+                            acks: r.link.acks,
+                            dup_drops: r.link.dup_drops,
+                            recovery_attempts: r.recovery.attempts.len() as u64,
+                            recovery_cycles_lost: r.recovery.total_cycles_lost,
                         });
                     }
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Renders the sweep as a text table.
@@ -1028,7 +1102,7 @@ pub mod fabric {
         );
         let _ = writeln!(
             out,
-            "{:<10} {:>4} {:<11} {:>6} {:>12} {:>6} {:>8} {:>10} {:>8} {:>8} {:>9}",
+            "{:<10} {:>4} {:<11} {:>6} {:>12} {:>6} {:>8} {:>10} {:>8} {:>8} {:>9} {:>6} {:>6}",
             "algo",
             "dev",
             "topology",
@@ -1039,12 +1113,15 @@ pub mod fabric {
             "exch cyc",
             "occ avg",
             "occ max",
-            "messages"
+            "messages",
+            "retx",
+            "recov"
         );
         for p in points {
             let _ = writeln!(
                 out,
-                "{:<10} {:>4} {:<11} {:>6} {:>12} {:>6} {:>8.3} {:>10} {:>7.1}% {:>7.1}% {:>9}",
+                "{:<10} {:>4} {:<11} {:>6} {:>12} {:>6} {:>8.3} {:>10} {:>7.1}% {:>7.1}% {:>9} \
+                 {:>6} {:>6}",
                 p.algo,
                 p.devices,
                 p.topology,
@@ -1055,15 +1132,299 @@ pub mod fabric {
                 p.exchange_cycles,
                 p.link_occupancy_mean * 100.0,
                 p.link_occupancy_peak * 100.0,
-                p.messages
+                p.messages,
+                p.retransmits,
+                p.recovery_attempts
             );
         }
         out
     }
 
     /// Runs the sweep and renders the table.
-    pub fn run(scope: Scope) -> String {
-        render(&sweep(scope))
+    ///
+    /// # Errors
+    ///
+    /// Propagates the one-line failure summary of [`sweep`].
+    pub fn run(scope: Scope) -> Result<String, String> {
+        Ok(render(&sweep(scope)?))
+    }
+}
+
+/// `repro chaos-fabric`: link-reliability sweep — every graceful fault
+/// profile plus sustained loss/duplication on multi-device BFS, each row
+/// validated for golden-exact values, plus black-hole rows that exercise
+/// checkpoint-rollback recovery.
+pub mod chaos_fabric {
+    use super::fabric::{apply_link_overlay, error_summary};
+    use super::*;
+    use accel::{Fabric, RecoveryConfig};
+    use simkit::record::{Record, Value};
+    use simkit::{FaultConfig, FaultProfile};
+
+    /// One chaos point: a link fault profile on a device count.
+    #[derive(Debug, Clone)]
+    pub struct ChaosPoint {
+        /// Benchmark tag.
+        pub bench: String,
+        /// Algorithm name.
+        pub algo: String,
+        /// Link fault profile label.
+        pub profile: String,
+        /// Devices in the fabric.
+        pub devices: usize,
+        /// Whether checkpoint/rollback recovery was enabled.
+        pub recovery_enabled: bool,
+        /// Global simulated cycles.
+        pub cycles: u64,
+        /// Cycles spent in barrier exchanges.
+        pub exchange_cycles: u64,
+        /// Payload retransmissions.
+        pub retransmits: u64,
+        /// Cumulative acks delivered.
+        pub acks: u64,
+        /// Duplicate payloads discarded.
+        pub dup_drops: u64,
+        /// Messages dropped by the fault injector.
+        pub dropped: u64,
+        /// Checkpoint rollbacks performed.
+        pub recovery_attempts: u64,
+        /// Cycles discarded plus reset downtime over all rollbacks.
+        pub recovery_cycles_lost: u64,
+        /// Final values match the reference: bit for bit on the integer
+        /// algorithms, within the repo's standard fp-noise tolerance on
+        /// the PageRank recovery rows (replayed iterations see different
+        /// cache timing than the clean run's history, so float
+        /// accumulation order can reassociate and compound).
+        pub values_exact: bool,
+    }
+
+    impl Record for ChaosPoint {
+        fn fields(&self) -> Vec<(&'static str, Value)> {
+            vec![
+                ("bench", Value::from(self.bench.clone())),
+                ("algo", Value::from(self.algo.clone())),
+                ("profile", Value::from(self.profile.clone())),
+                ("devices", Value::from(self.devices)),
+                ("recovery_enabled", Value::from(self.recovery_enabled)),
+                ("cycles", Value::from(self.cycles)),
+                ("exchange_cycles", Value::from(self.exchange_cycles)),
+                ("retransmits", Value::from(self.retransmits)),
+                ("acks", Value::from(self.acks)),
+                ("dup_drops", Value::from(self.dup_drops)),
+                ("dropped", Value::from(self.dropped)),
+                ("recovery_attempts", Value::from(self.recovery_attempts)),
+                (
+                    "recovery_cycles_lost",
+                    Value::from(self.recovery_cycles_lost),
+                ),
+                ("values_exact", Value::from(self.values_exact)),
+            ]
+        }
+    }
+
+    /// Fault profiles the transport must mask without a single watchdog
+    /// trip (retransmission alone).
+    const MASKABLE: &[&str] = &[
+        "delay",
+        "reorder",
+        "nack",
+        "chaos-lite",
+        "chaos",
+        "lossy:100",
+        "lossy:250",
+        "duplicate",
+    ];
+
+    /// Runs BFS under every maskable profile on 2- and 4-device fabrics
+    /// (each row validated bit-exact against the golden model), plus a
+    /// black-hole PageRank row per device count with recovery enabled
+    /// (validated against a fault-free fabric run, within the repo's
+    /// standard fp-noise tolerance — replay reassociates float sums).
+    ///
+    /// # Errors
+    ///
+    /// A row that stalls anyway aborts the sweep with a one-line
+    /// structured summary naming the (profile, devices) point.
+    pub fn sweep(scope: Scope) -> Result<Vec<ChaosPoint>, String> {
+        let arch = ArchPoint::two_level_16_16();
+        let bench = BenchmarkId::Wt;
+        let spec = spec_for(arch, &scope);
+        let g = prepare_graph(bench, spec.pre, spec.shrink, false);
+        let eng = crate::engine::global_config();
+        let bfs = Algorithm::bfs(0);
+        let bfs_expect = algos::golden::run(&bfs, &g);
+        let mut out = Vec::new();
+        let mut run_point = |bench_tag: &str,
+                             graph: &graph::CooGraph,
+                             profile: &str,
+                             algo: Algorithm,
+                             max_iterations: Option<u32>,
+                             expect: &[u32],
+                             fp_tolerant: bool,
+                             devices: usize,
+                             fault: FaultConfig,
+                             recovery: Option<RecoveryConfig>,
+                             watchdog: Option<u64>|
+         -> Result<(), String> {
+            let mut rc = spec.run_config();
+            rc.devices = devices;
+            if max_iterations.is_some() {
+                rc.max_iterations = max_iterations;
+            }
+            apply_link_overlay(&mut rc, &eng);
+            rc.link.fault = fault;
+            if let Some(w) = watchdog {
+                rc.link.watchdog_cycles = Some(w);
+            }
+            if let Some(rec) = recovery {
+                rc.recovery = Some(rec);
+            }
+            let r = Fabric::new(graph, algo, &rc)
+                .run_to_outcome(None)
+                .map_err(|e| {
+                    format!(
+                        "chaos-fabric {bench_tag}/{} profile={profile} devices={devices}: {}",
+                        algo.name(),
+                        error_summary(&e)
+                    )
+                })?;
+            out.push(ChaosPoint {
+                bench: bench_tag.to_owned(),
+                algo: algo.name().to_owned(),
+                profile: profile.to_owned(),
+                devices,
+                recovery_enabled: rc.recovery.is_some(),
+                cycles: r.cycles,
+                exchange_cycles: r.link.exchange_cycles,
+                retransmits: r.link.retransmissions,
+                acks: r.link.acks,
+                dup_drops: r.link.dup_drops,
+                dropped: r.link.messages_dropped,
+                recovery_attempts: r.recovery.attempts.len() as u64,
+                recovery_cycles_lost: r.recovery.total_cycles_lost,
+                values_exact: if fp_tolerant {
+                    algos::golden::pagerank_mismatch(&r.values, expect, 1e-5).is_none()
+                } else {
+                    r.values == expect
+                },
+            });
+            Ok(())
+        };
+        // The black-hole rows run long PageRank on a fixed 512-node
+        // synthetic graph, independent of `--shrink`: recovery is only
+        // demonstrable when one barrier's link traffic fits inside the
+        // fault's grace window while the whole run does not, a band a
+        // scope-scaled benchmark graph cannot guarantee. Always-active
+        // PageRank keeps every barrier broadcasting so the window dies
+        // mid-run; the recovered values match a fault-free fabric run
+        // within fp noise (replayed iterations see different cache
+        // timing, so float accumulation order can reassociate).
+        let bh_graph = graph::GraphSpec::rmat(9, 6).build(41);
+        let pr = Algorithm::pagerank();
+        let pr_iters = Some(30);
+        for devices in [2usize, 4] {
+            for profile in MASKABLE {
+                let fault = FaultConfig {
+                    profile: profile.parse().expect("known profile"),
+                    seed: eng.link_fault.seed,
+                };
+                run_point(
+                    bench.tag(),
+                    &g,
+                    profile,
+                    bfs,
+                    None,
+                    &bfs_expect,
+                    false,
+                    devices,
+                    fault,
+                    None,
+                    None,
+                )?;
+            }
+            // Black-hole cannot be masked: the watchdog trips and the
+            // checkpoint rollback (which resets the link, re-arming the
+            // fault's grace window) carries the run to completion.
+            let pr_expect = {
+                let mut rc = spec.run_config();
+                rc.devices = devices;
+                rc.max_iterations = pr_iters;
+                Fabric::new(&bh_graph, pr, &rc).run().values
+            };
+            let fault = FaultConfig {
+                profile: FaultProfile::BlackHole,
+                seed: eng.link_fault.seed,
+            };
+            let recovery = RecoveryConfig {
+                checkpoint_interval: eng.checkpoint_interval.max(1),
+                max_attempts: 64,
+                ..RecoveryConfig::default()
+            };
+            run_point(
+                "rmat-9",
+                &bh_graph,
+                "black-hole",
+                pr,
+                pr_iters,
+                &pr_expect,
+                true,
+                devices,
+                fault,
+                Some(recovery),
+                Some(20_000),
+            )?;
+        }
+        Ok(out)
+    }
+
+    /// Renders the sweep as a text table.
+    pub fn render(points: &[ChaosPoint]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== chaos-fabric: reliability under link faults ({}) ==",
+            points.first().map_or("-", |p| p.bench.as_str())
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} {:>12} {:>10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6}",
+            "profile",
+            "dev",
+            "cycles",
+            "exch cyc",
+            "retx",
+            "acks",
+            "dups",
+            "dropped",
+            "recov",
+            "exact"
+        );
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>4} {:>12} {:>10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6}",
+                p.profile,
+                p.devices,
+                p.cycles,
+                p.exchange_cycles,
+                p.retransmits,
+                p.acks,
+                p.dup_drops,
+                p.dropped,
+                p.recovery_attempts,
+                if p.values_exact { "yes" } else { "NO" }
+            );
+        }
+        out
+    }
+
+    /// Runs the sweep and renders the table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the one-line failure summary of [`sweep`].
+    pub fn run(scope: Scope) -> Result<String, String> {
+        Ok(render(&sweep(scope)?))
     }
 }
 
@@ -1117,7 +1478,7 @@ mod tests {
     fn fabric_sweep_covers_devices_bandwidths_and_topologies() {
         let mut scope = tiny_scope();
         scope.shrink = 64;
-        let points = fabric::sweep(scope);
+        let points = fabric::sweep(scope).expect("fault-free sweep cannot stall");
         for algo in ["bfs", "pagerank"] {
             for devices in [1usize, 2, 4, 8] {
                 assert!(
@@ -1146,8 +1507,52 @@ mod tests {
         let csv = simkit::record::to_csv(&points);
         assert!(csv.starts_with("bench,algo,devices,topology,link_bw,"));
         assert!(csv.contains("link_occupancy_mean"));
+        assert!(csv.contains("retransmits"));
+        assert!(csv.contains("recovery_attempts"));
         let rendered = fabric::render(&points);
         assert!(rendered.contains("== fabric:"));
         assert!(rendered.contains("all-to-all"));
+    }
+
+    #[test]
+    fn chaos_fabric_masks_faults_and_recovers_from_black_hole() {
+        let mut scope = tiny_scope();
+        scope.shrink = 64;
+        let points = chaos_fabric::sweep(scope).expect("chaos sweep must complete");
+        assert!(
+            points.iter().all(|p| p.values_exact),
+            "some rows diverged: {points:#?}"
+        );
+        // Lossy delivery must be healed by retransmission, not luck.
+        assert!(
+            points
+                .iter()
+                .any(|p| p.profile.starts_with("lossy") && p.retransmits > 0 && p.dropped > 0),
+            "lossy rows show no retransmissions: {points:#?}"
+        );
+        // Duplicate delivery must be healed by receiver dedup.
+        assert!(
+            points
+                .iter()
+                .any(|p| p.profile == "duplicate" && p.dup_drops > 0),
+            "duplicate rows show no dup drops: {points:#?}"
+        );
+        // Maskable rows must never roll back; black-hole rows must.
+        for p in &points {
+            if p.profile == "black-hole" {
+                assert!(
+                    p.recovery_attempts > 0 && p.recovery_cycles_lost > 0,
+                    "black-hole row did not recover: {p:?}"
+                );
+            } else {
+                assert_eq!(p.recovery_attempts, 0, "maskable row rolled back: {p:?}");
+            }
+        }
+        let csv = simkit::record::to_csv(&points);
+        assert!(csv.starts_with("bench,algo,profile,devices,"));
+        assert!(csv.contains("values_exact"));
+        let rendered = chaos_fabric::render(&points);
+        assert!(rendered.contains("== chaos-fabric:"));
+        assert!(rendered.contains("black-hole"));
     }
 }

@@ -100,13 +100,24 @@ fn render_fabric(out: &mut String, scope: Scope, arch: ArchPoint) {
     let mut rc = spec.run_config();
     rc.max_iterations = Some(2);
     rc.devices = 4;
-    let r = Fabric::new(&g, algo, &rc).run();
+    crate::experiments::fabric::apply_link_overlay(&mut rc, &crate::engine::global_config());
     let label = format!(
         "{}/{}/{} x4 devices",
         bench.tag(),
         algo.name(),
         spec.arch.name
     );
+    let r = match Fabric::new(&g, algo, &rc).run_to_outcome(None) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(
+                out,
+                "-- {label}: failed: {} --",
+                crate::experiments::fabric::error_summary(&e)
+            );
+            return;
+        }
+    };
     let _ = writeln!(
         out,
         "-- {label}: {} cycles, {} PE-cycles attributed --",
@@ -124,6 +135,20 @@ fn render_fabric(out: &mut String, scope: Scope, arch: ArchPoint) {
         r.link.messages_delivered,
         r.link.updates
     );
+    let _ = writeln!(
+        out,
+        "  transport: {} retransmits, {} acks, {} dup-drops, {} dropped",
+        r.link.retransmissions, r.link.acks, r.link.dup_drops, r.link.messages_dropped
+    );
+    if r.recovery.recovered() {
+        let _ = writeln!(
+            out,
+            "  recovery: {} rollbacks, {} cycles lost ({} checkpoints)",
+            r.recovery.attempts.len(),
+            r.recovery.total_cycles_lost,
+            r.recovery.checkpoints_taken
+        );
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +183,9 @@ mod tests {
             "fabric section must attribute barrier parking:\n{report}"
         );
         assert!(report.contains("exchange cycles"), "{report}");
+        assert!(
+            report.contains("transport:"),
+            "fabric section must report protocol counters:\n{report}"
+        );
     }
 }

@@ -46,11 +46,25 @@ pub enum FaultProfile {
     /// design — used to seed deadlocks for watchdog tests, never part of
     /// the graceful-degradation guarantee.
     BlackHole,
+    /// Sustained random loss: each item is dropped with probability
+    /// `permille`/1000, survivors get a small jitter. Link-grade only —
+    /// the consumer must run a retransmitting transport to survive it
+    /// (the DRAM response path has no such protocol, so `Lossy` is not
+    /// part of [`FaultProfile::GRACEFUL`]).
+    Lossy {
+        /// Drop probability in 1/1000ths (0..=1000).
+        permille: u16,
+    },
+    /// Duplicate delivery: 1/8 of items are delivered twice, the copy
+    /// trailing by a few cycles. Link-grade only — the consumer must
+    /// dedup by sequence number; on the DRAM path a duplicate response
+    /// would double-fire burst bookkeeping.
+    Duplicate,
 }
 
 impl FaultProfile {
     /// Every built-in profile, in documentation order.
-    pub const ALL: [FaultProfile; 7] = [
+    pub const ALL: [FaultProfile; 9] = [
         FaultProfile::None,
         FaultProfile::Delay,
         FaultProfile::Reorder,
@@ -58,6 +72,8 @@ impl FaultProfile {
         FaultProfile::ChaosLite,
         FaultProfile::Chaos,
         FaultProfile::BlackHole,
+        FaultProfile::Lossy { permille: 100 },
+        FaultProfile::Duplicate,
     ];
 
     /// The lossless profiles under which results must be identical to a
@@ -80,7 +96,15 @@ impl FaultProfile {
             FaultProfile::ChaosLite => "chaos-lite",
             FaultProfile::Chaos => "chaos",
             FaultProfile::BlackHole => "black-hole",
+            FaultProfile::Lossy { .. } => "lossy",
+            FaultProfile::Duplicate => "duplicate",
         }
+    }
+
+    /// `true` when the profile can drop items outright, so only a
+    /// retransmitting consumer can guarantee delivery.
+    pub fn is_lossy(&self) -> bool {
+        matches!(self, FaultProfile::BlackHole | FaultProfile::Lossy { .. })
     }
 }
 
@@ -88,10 +112,19 @@ impl FromStr for FaultProfile {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // `lossy:N` selects a drop rate of N/1000; bare `lossy` means 10%.
+        if let Some(rate) = s.strip_prefix("lossy:") {
+            let permille: u16 = rate
+                .parse()
+                .ok()
+                .filter(|p| *p <= 1000)
+                .ok_or_else(|| format!("lossy rate {rate:?} is not in 0..=1000 (permille)"))?;
+            return Ok(FaultProfile::Lossy { permille });
+        }
         FaultProfile::ALL
             .into_iter()
             .find(|p| p.name() == s)
-            .ok_or_else(|| format!("unknown fault profile {s:?} (try: none, delay, reorder, nack, chaos-lite, chaos, black-hole)"))
+            .ok_or_else(|| format!("unknown fault profile {s:?} (try: none, delay, reorder, nack, chaos-lite, chaos, black-hole, lossy[:PERMILLE], duplicate)"))
     }
 }
 
@@ -150,6 +183,7 @@ pub struct FaultInjector<T> {
     delayed: u64,
     nacked: u64,
     dropped: u64,
+    duplicated: u64,
 }
 
 impl<T> FaultInjector<T> {
@@ -165,6 +199,7 @@ impl<T> FaultInjector<T> {
             delayed: 0,
             nacked: 0,
             dropped: 0,
+            duplicated: 0,
         }
     }
 
@@ -180,7 +215,10 @@ impl<T> FaultInjector<T> {
     }
 
     /// Hands one produced item to the injector at cycle `now`.
-    pub fn offer(&mut self, now: Cycle, item: T) {
+    pub fn offer(&mut self, now: Cycle, item: T)
+    where
+        T: Clone,
+    {
         self.offered += 1;
         let extra = match self.cfg.profile {
             FaultProfile::None => 0,
@@ -227,6 +265,22 @@ impl<T> FaultInjector<T> {
                 }
                 0
             }
+            FaultProfile::Lossy { permille } => {
+                if self.rng.next_below(1000) < permille as u64 {
+                    self.dropped += 1;
+                    return;
+                }
+                self.rng.next_below(4)
+            }
+            FaultProfile::Duplicate => {
+                if self.rng.next_below(8) == 0 {
+                    self.duplicated += 1;
+                    let trail = 2 + self.rng.next_below(7);
+                    self.held.insert((now + trail, self.seq), item.clone());
+                    self.seq += 1;
+                }
+                self.rng.next_below(4)
+            }
         };
         if extra > 0 {
             self.delayed += 1;
@@ -250,9 +304,15 @@ impl<T> FaultInjector<T> {
         self.held.len()
     }
 
-    /// Items dropped so far (nonzero only for [`FaultProfile::BlackHole`]).
+    /// Items dropped so far (nonzero only for the lossy profiles).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Extra copies injected so far (nonzero only for
+    /// [`FaultProfile::Duplicate`]).
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
     }
 
     /// Items offered so far.
@@ -275,6 +335,10 @@ impl<T> FaultInjector<T> {
         s.push("delayed", self.delayed);
         s.push("nacked", self.nacked);
         s.push("dropped", self.dropped);
+        s.push("duplicated", self.duplicated);
+        if let FaultProfile::Lossy { permille } = self.cfg.profile {
+            s.push("loss_permille", permille);
+        }
         s.push("pending", self.pending());
         s
     }
@@ -365,9 +429,69 @@ mod tests {
     #[test]
     fn profile_names_round_trip() {
         for p in FaultProfile::ALL {
+            if let FaultProfile::Lossy { permille } = p {
+                // `lossy` alone means the default 10% rate.
+                assert_eq!(permille, 100);
+            }
             assert_eq!(p.name().parse::<FaultProfile>().unwrap(), p);
         }
         assert!("bogus".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn lossy_rate_parses_and_validates() {
+        assert_eq!(
+            "lossy:250".parse::<FaultProfile>().unwrap(),
+            FaultProfile::Lossy { permille: 250 }
+        );
+        assert_eq!(
+            "lossy".parse::<FaultProfile>().unwrap(),
+            FaultProfile::Lossy { permille: 100 }
+        );
+        assert!("lossy:1001".parse::<FaultProfile>().is_err());
+        assert!("lossy:abc".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn lossy_drops_near_the_configured_rate_deterministically() {
+        let cfg = FaultConfig {
+            profile: FaultProfile::Lossy { permille: 200 },
+            seed: 11,
+        };
+        let mut a: FaultInjector<u64> = FaultInjector::new(cfg);
+        let mut b: FaultInjector<u64> = FaultInjector::new(cfg);
+        for i in 0..2000 {
+            a.offer(i, i);
+            b.offer(i, i);
+        }
+        // ~20% of 2000 = 400 drops; allow wide slack, but loss must be
+        // substantial and exactly reproducible for the same seed.
+        assert!(
+            (250..550).contains(&(a.dropped() as usize)),
+            "{}",
+            a.dropped()
+        );
+        assert_eq!(a.dropped(), b.dropped());
+        assert_eq!(drain_all(&mut a, 4000), drain_all(&mut b, 4000));
+    }
+
+    #[test]
+    fn duplicate_delivers_every_item_plus_extras() {
+        let mut inj: FaultInjector<u64> = FaultInjector::new(FaultConfig {
+            profile: FaultProfile::Duplicate,
+            seed: 5,
+        });
+        for i in 0..800 {
+            inj.offer(i, i);
+        }
+        let got = drain_all(&mut inj, 3000);
+        assert!(inj.duplicated() > 0, "no duplicates injected");
+        assert_eq!(got.len() as u64, 800 + inj.duplicated());
+        assert_eq!(inj.dropped(), 0);
+        let mut uniq = got.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq, (0..800).collect::<Vec<_>>(), "an item went missing");
     }
 
     #[test]

@@ -143,6 +143,9 @@ pub enum TrackKind {
     /// An inter-accelerator fabric link (one direction of one device
     /// pair).
     Link,
+    /// The fabric controller (checkpoints, rollback, recovery — one
+    /// instance).
+    Fabric,
 }
 
 /// Identity of one timeline in the trace (one PE, one bank, one channel).
@@ -203,6 +206,14 @@ impl Track {
         }
     }
 
+    /// The fabric controller track.
+    pub fn fabric() -> Self {
+        Track {
+            kind: TrackKind::Fabric,
+            index: 0,
+        }
+    }
+
     /// Stable human-readable label, also the Perfetto thread name.
     pub fn label(&self) -> String {
         match self.kind {
@@ -212,6 +223,7 @@ impl Track {
             TrackKind::MomsShared => format!("moms.shared[{}]", self.index),
             TrackKind::DramChannel => format!("dram.ch[{}]", self.index),
             TrackKind::Link => format!("link[{}]", self.index),
+            TrackKind::Fabric => "fabric".to_owned(),
         }
     }
 
@@ -224,6 +236,7 @@ impl Track {
             TrackKind::MomsShared => 3,
             TrackKind::DramChannel => 4,
             TrackKind::Link => 5,
+            TrackKind::Fabric => 6,
         };
         (kind << 16) | self.index as u32
     }
@@ -304,6 +317,20 @@ pub enum EventKind {
     LinkRx,
     /// The link fault injector dropped a message; arg = source device.
     LinkDrop,
+    /// A link payload was retransmitted after an ack timeout; arg =
+    /// sequence number.
+    LinkRetransmit,
+    /// A cumulative ack was sent back to a payload's source; arg =
+    /// acknowledged sequence number.
+    LinkAck,
+    /// A duplicate payload was discarded by the receiver; arg = sequence
+    /// number.
+    LinkDupDrop,
+    /// The fabric snapshotted vertex state at a barrier; arg = iteration.
+    CheckpointSave,
+    /// The fabric rolled every shard back to a checkpoint; arg =
+    /// iteration resumed from.
+    Rollback,
 }
 
 impl EventKind {
@@ -342,6 +369,11 @@ impl EventKind {
             EventKind::LinkTx => "link.tx",
             EventKind::LinkRx => "link.rx",
             EventKind::LinkDrop => "link.drop",
+            EventKind::LinkRetransmit => "link.retransmit",
+            EventKind::LinkAck => "link.ack",
+            EventKind::LinkDupDrop => "link.dup_drop",
+            EventKind::CheckpointSave => "fabric.checkpoint",
+            EventKind::Rollback => "fabric.rollback",
         }
     }
 
