@@ -66,6 +66,12 @@ impl CheckpointStore {
         self.saved.back()
     }
 
+    /// The oldest retained checkpoint — the furthest the fabric could
+    /// still roll back.
+    pub fn oldest(&self) -> Option<&Checkpoint> {
+        self.saved.front()
+    }
+
     /// Checkpoints currently retained.
     pub fn len(&self) -> usize {
         self.saved.len()
@@ -197,6 +203,44 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.taken(), 5);
         assert_eq!(s.latest().unwrap().iteration, 4);
+    }
+
+    #[test]
+    fn eviction_is_strictly_oldest_first() {
+        let mut s = CheckpointStore::new(3);
+        for i in 0..7 {
+            s.save(ckpt(i));
+            // After each save the window is the contiguous newest run:
+            // oldest..=latest with no gaps and no reordering.
+            let oldest = s.oldest().unwrap().iteration;
+            let latest = s.latest().unwrap().iteration;
+            assert_eq!(latest, i);
+            assert_eq!(oldest, i.saturating_sub(2));
+            assert_eq!(s.len() as u32, latest - oldest + 1);
+        }
+        assert_eq!(s.taken(), 7);
+    }
+
+    #[test]
+    fn restore_after_reset_replays_the_saved_state() {
+        // A store that survives a device reset must hand back exactly the
+        // bytes it was given — the fabric reloads values/active/edges from
+        // the checkpoint verbatim.
+        let mut s = CheckpointStore::new(2);
+        s.save(ckpt(3));
+        s.save(ckpt(4));
+        let restored = s.latest().cloned().unwrap();
+        assert_eq!(restored, ckpt(4));
+        assert_eq!(restored.values, vec![4; 4]);
+        assert_eq!(restored.edges, vec![40; 2]);
+        // Rolling back does not consume the checkpoint: a second failure
+        // can restore from the same snapshot.
+        assert_eq!(s.latest().cloned().unwrap(), ckpt(4));
+        assert_eq!(s.len(), 2);
+        // Saving after the rollback keeps counting and evicting in order.
+        s.save(ckpt(4));
+        assert_eq!(s.taken(), 3);
+        assert_eq!(s.oldest().unwrap().iteration, 4);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub struct Driver {
     devices: usize,
     link: LinkConfig,
     recovery: Option<RecoveryConfig>,
+    sim_threads: usize,
 }
 
 impl Default for Driver {
@@ -68,6 +69,7 @@ impl Driver {
             devices: 1,
             link: LinkConfig::default(),
             recovery: None,
+            sim_threads: 0,
         }
     }
 
@@ -193,6 +195,15 @@ impl Driver {
         self
     }
 
+    /// Host worker threads for the fabric compute phase (default 0 =
+    /// auto: `min(devices, cores)`; 1 forces the sequential path).
+    /// Results are byte-identical for every value — only host wall-clock
+    /// time changes.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n;
+        self
+    }
+
     /// Destination interval size chosen for `n` nodes: jobs ≈ 16× PEs,
     /// clamped to a sane power-of-two range.
     fn auto_nd(&self, n: u32) -> u32 {
@@ -238,6 +249,7 @@ impl Driver {
         rc.devices = self.devices;
         rc.link = self.link;
         rc.recovery = self.recovery;
+        rc.sim_threads = self.sim_threads;
         rc
     }
 

@@ -22,6 +22,21 @@
 //! [`PeCycleBreakdown`](crate::PeCycleBreakdown), which `repro explain`
 //! renders as the Link section.
 //!
+//! # Host threading
+//!
+//! Between barriers the device shards share no mutable state, so the
+//! compute phase of each global iteration runs them on up to
+//! [`RunConfig::sim_threads`](crate::RunConfig) host worker threads
+//! ([`simkit::epoch::run_epoch`]): inputs are fixed at the epoch
+//! boundary, every stepped device runs its iteration to completion, and
+//! outcomes are collected into per-device slots and handled in ascending
+//! device order. Everything that couples devices — the link exchange,
+//! fault injection, retransmission, checkpoint/rollback, and stats/trace
+//! merging — stays single-threaded in fixed device order. Every
+//! observable (values, cycles, link stats, trace streams, diagnostics)
+//! is therefore byte-identical for every thread count; `sim_threads = 1`
+//! takes the exact sequential code path.
+//!
 //! # Reliable transport
 //!
 //! The network is treated as unreliable end to end. Every (owner,
@@ -564,6 +579,9 @@ pub struct Fabric {
     carried_pe: PeCycleBreakdown,
     tracer: Tracer,
     trace_cfg: TraceConfig,
+    /// Resolved host worker threads for the compute phase (1 = the plain
+    /// sequential loop).
+    sim_threads: usize,
 }
 
 impl Fabric {
@@ -639,6 +657,7 @@ impl Fabric {
             carried_pe: PeCycleBreakdown::default(),
             tracer: Tracer::for_track(Track::fabric(), &rc.trace),
             trace_cfg: rc.trace,
+            sim_threads: simkit::epoch::resolve_threads(rc.sim_threads, n),
         }
     }
 
@@ -686,6 +705,11 @@ impl Fabric {
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Resolved host worker threads for the compute phase.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// The device-ownership map in effect.
@@ -749,7 +773,15 @@ impl Fabric {
             }
             // Compute phase: every device publishes the same global active
             // flags, schedules its local jobs, and runs its iteration
-            // unmodified.
+            // unmodified. Devices share no state between barriers, so the
+            // epoch runs them on `sim_threads` workers; outcomes land in
+            // per-device slots and are handled below in ascending device
+            // order, which keeps every observable byte-identical to
+            // `sim_threads = 1` (the plain in-order loop). Every stepped
+            // device finishes its iteration before any stall is answered —
+            // rollback discards their state anyway, and processing the
+            // lowest-index stall first makes the recovery order
+            // independent of worker scheduling.
             let mut total_jobs = 0usize;
             for (i, dev) in self.devices.iter_mut().enumerate() {
                 let jobs = dev.begin_iteration(iterations, &active);
@@ -759,22 +791,30 @@ impl Fabric {
             if total_jobs == 0 {
                 break;
             }
-            for i in 0..n {
-                if !stepped[i] {
-                    continue;
-                }
-                match self.devices[i].step_iteration(iterations, deadline) {
-                    Ok(edges) => edges_per_device[i] += edges,
-                    Err(RunError::TimedOut) => return Err(FabricError::TimedOut),
-                    Err(RunError::Stalled(snapshot)) => {
-                        let err = FabricError::DeviceStalled {
-                            device: i,
-                            snapshot,
-                        };
-                        self.recover(err, &mut active, &mut iterations, &mut edges_per_device)?;
-                        continue 'iterations;
+            let outcomes = {
+                let stepped = &stepped;
+                simkit::epoch::run_epoch(&mut self.devices, self.sim_threads, |i, dev| {
+                    stepped[i].then(|| dev.step_iteration(iterations, deadline))
+                })
+            };
+            let mut stall: Option<(usize, Box<DiagnosticSnapshot>)> = None;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    None => {}
+                    Some(Ok(edges)) => edges_per_device[i] += edges,
+                    Some(Err(RunError::TimedOut)) => return Err(FabricError::TimedOut),
+                    // The lowest device index wins, matching the order the
+                    // sequential loop would have surfaced the stall in.
+                    Some(Err(RunError::Stalled(snapshot))) if stall.is_none() => {
+                        stall = Some((i, snapshot));
                     }
+                    Some(Err(RunError::Stalled(_))) => {}
                 }
+            }
+            if let Some((device, snapshot)) = stall {
+                let err = FabricError::DeviceStalled { device, snapshot };
+                self.recover(err, &mut active, &mut iterations, &mut edges_per_device)?;
+                continue 'iterations;
             }
             iterations += 1;
 

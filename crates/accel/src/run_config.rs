@@ -88,6 +88,13 @@ pub struct RunConfig {
     /// Checkpoint/rollback recovery policy for fabric runs; `None`
     /// (default) surfaces watchdog trips as [`crate::FabricError`]s.
     pub recovery: Option<RecoveryConfig>,
+    /// Host worker threads for the fabric compute phase: `0` (default)
+    /// auto-sizes to `min(devices, cores)`, `1` forces the sequential
+    /// path. Results are byte-identical for every value — this knob only
+    /// changes host wall-clock time. Ignored by
+    /// [`build`](RunConfig::build) (single-device runs are always
+    /// single-threaded).
+    pub sim_threads: usize,
 }
 
 impl RunConfig {
@@ -110,6 +117,7 @@ impl RunConfig {
             devices: 1,
             link: LinkConfig::default(),
             recovery: None,
+            sim_threads: 0,
         }
     }
 

@@ -290,6 +290,15 @@ pub struct System {
     now: Cycle,
 }
 
+/// The fabric runs device shards on worker threads between barriers
+/// (`simkit::epoch::run_epoch` over `&mut [System]`), which requires
+/// `System: Send`. This guard fails to compile if a non-`Send` member
+/// (an `Rc`, a raw pointer, a thread-local handle) ever sneaks in.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<System>();
+};
+
 impl System {
     /// Partitions `g`, lays it out in memory, and builds the accelerator.
     ///
@@ -559,6 +568,12 @@ impl System {
 
     /// Runs the iteration opened by [`begin_iteration`](Self::begin_iteration)
     /// to completion; returns the edges processed.
+    ///
+    /// This is the fabric's shard-local epoch entry point: it touches only
+    /// this device's own state (`System` is `Send` and owns everything it
+    /// simulates), so between barriers the fabric may run each shard's
+    /// `step_iteration` on its own host worker thread and still collect
+    /// byte-identical results in device order.
     ///
     /// # Errors
     ///

@@ -9,6 +9,7 @@
 //!                    [--watchdog-cycles N]
 //!                    [--link-fault-profile P] [--link-fault-seed N]
 //!                    [--link-retry CYCLES] [--checkpoint-interval N]
+//!                    [--sim-threads N]
 //!                    [--trace PATH] [--trace-level events|counters]
 //!                    [--trace-window START:END]
 //!
@@ -44,6 +45,11 @@
 //! loss). `--link-retry` sets the transport's initial retransmission
 //! timeout; `--checkpoint-interval N` enables checkpoint-rollback
 //! recovery with a snapshot every N barriers (0 = off).
+//! `--sim-threads N` sets the host worker threads each fabric point uses
+//! for its per-device compute phase (0 = auto, 1 = sequential); every
+//! exported byte is identical across thread counts, and requests that
+//! would oversubscribe the host (jobs × threads > cores) are clamped
+//! with a warning.
 //!
 //! `chaos-fabric` runs the reliability sweep: BFS under every graceful
 //! link-fault profile plus sustained loss and duplication on 2- and
@@ -257,6 +263,7 @@ fn usage(err: &str) -> ! {
          [--link-fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole|\
          lossy[:permille]|duplicate] \
          [--link-fault-seed N] [--link-retry CYCLES] [--checkpoint-interval N] \
+         [--sim-threads N] \
          [--trace PATH] [--trace-level events|counters] [--trace-window START:END]"
     );
     std::process::exit(2);

@@ -58,7 +58,8 @@ pub struct CommonFlags {
     pub scope: Scope,
     /// Engine overlay (`--jobs`, `--timeout-secs`, `--fault-*`,
     /// `--watchdog-cycles`, `--link-fault-*`, `--link-retry`,
-    /// `--checkpoint-interval`, `--trace-level`, `--trace-window`).
+    /// `--checkpoint-interval`, `--sim-threads`, `--trace-level`,
+    /// `--trace-window`).
     pub engine: EngineConfig,
     /// `--out PATH` structured-result export.
     pub out_path: Option<String>,
@@ -138,6 +139,10 @@ impl CommonFlags {
             "--checkpoint-interval" => {
                 self.engine.checkpoint_interval =
                     cur.value("--checkpoint-interval needs a barrier count (0 = off)")?;
+            }
+            "--sim-threads" => {
+                self.engine.sim_threads =
+                    cur.value("--sim-threads needs a thread count (0 = auto)")?;
             }
             "--trace" => {
                 self.trace_path = Some(cur.next().ok_or("--trace needs a path")?);
@@ -255,6 +260,16 @@ mod tests {
         assert_eq!(flags.engine.link_fault.seed, 11);
         assert_eq!(flags.engine.link_retry, Some(600));
         assert_eq!(flags.engine.checkpoint_interval, 2);
+    }
+
+    #[test]
+    fn sim_threads_flag_parses() {
+        let (flags, _) = parse(&["--sim-threads", "4"]).unwrap();
+        assert_eq!(flags.engine.sim_threads, 4);
+        let (flags, _) = parse(&[]).unwrap();
+        assert_eq!(flags.engine.sim_threads, 0, "default is auto");
+        assert!(parse(&["--sim-threads"]).is_err());
+        assert!(parse(&["--sim-threads", "many"]).is_err());
     }
 
     #[test]

@@ -271,6 +271,12 @@ pub struct EngineConfig {
     /// Fabric checkpoint interval in barriers (`--checkpoint-interval`);
     /// 0 disables checkpoint/rollback recovery.
     pub checkpoint_interval: u32,
+    /// Host worker threads for each fabric point's compute phase
+    /// (`--sim-threads`); 0 = auto (`min(devices, cores)`). The fabric
+    /// sweeps clamp `jobs × sim_threads` to the available parallelism so
+    /// engine-level and shard-level threading cannot oversubscribe the
+    /// host. Results are byte-identical for every value.
+    pub sim_threads: usize,
 }
 
 impl EngineConfig {
@@ -322,6 +328,7 @@ static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
         },
         link_retry: None,
         checkpoint_interval: 0,
+        sim_threads: 0,
     },
     recorder: None,
     traces: None,

@@ -921,7 +921,8 @@ pub mod fabric {
     }
 
     /// Applies the process-wide link-reliability overlay (`--link-fault-*`,
-    /// `--link-retry`, `--checkpoint-interval`) to a fabric run config.
+    /// `--link-retry`, `--checkpoint-interval`, `--sim-threads`) to a
+    /// fabric run config.
     pub fn apply_link_overlay(rc: &mut RunConfig, eng: &crate::engine::EngineConfig) {
         rc.link.fault = eng.link_fault;
         if let Some(rto) = eng.link_retry {
@@ -933,6 +934,36 @@ pub mod fabric {
                 checkpoint_interval: eng.checkpoint_interval,
                 ..RecoveryConfig::default()
             });
+        }
+        rc.sim_threads = clamped_sim_threads(eng);
+    }
+
+    /// Resolves `--sim-threads` for one fabric point so that engine jobs ×
+    /// shard threads never oversubscribe the host: each of the engine's
+    /// `jobs` concurrent points gets at most `cores / jobs` shard worker
+    /// threads. An explicit `--sim-threads` beyond that budget is clamped
+    /// with a one-line warning (once per process); `0` (auto) silently
+    /// resolves to the budget, which the fabric further caps at the device
+    /// count.
+    pub fn clamped_sim_threads(eng: &crate::engine::EngineConfig) -> usize {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let jobs = eng.effective_jobs().max(1);
+        let budget = (cores / jobs).max(1);
+        if eng.sim_threads > budget && !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: --sim-threads {} x --jobs {jobs} oversubscribes {cores} \
+                 available cores; clamping to {budget} shard threads per point",
+                eng.sim_threads
+            );
+        }
+        if eng.sim_threads == 0 {
+            budget
+        } else {
+            eng.sim_threads.min(budget)
         }
     }
 

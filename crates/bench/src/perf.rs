@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use accel::System;
+use accel::{Fabric, System};
 use algos::Algorithm;
 use graph::benchmarks::BenchmarkId;
 
@@ -61,6 +61,81 @@ fn per_sec(count: u64, secs: f64) -> f64 {
         count as f64 / secs
     } else {
         0.0
+    }
+}
+
+/// The fabric host-threading measurement: the same 8-device point run at
+/// `sim-threads 1` (the sequential compute loop) and at auto threads.
+/// Simulated cycles must agree exactly between the two runs — the
+/// threading knob only buys host wall-clock time — so the struct carries
+/// one `cycles` and two wall times.
+#[derive(Debug, Clone)]
+pub struct FabricPerf {
+    /// Devices in the measured fabric.
+    pub devices: usize,
+    /// Resolved worker threads of the auto run (`min(devices, cores)`).
+    pub threads: usize,
+    /// Host cores visible to the process; gates any speedup expectation.
+    pub host_cores: usize,
+    /// Simulated cycles (identical across both runs by construction).
+    pub cycles: u64,
+    /// Host seconds of the `sim-threads 1` run.
+    pub wall_seconds_t1: f64,
+    /// Host seconds of the auto-threads run.
+    pub wall_seconds_tn: f64,
+}
+
+impl FabricPerf {
+    /// Wall-clock speedup of the threaded run over the sequential run.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds_tn > 0.0 {
+            self.wall_seconds_t1 / self.wall_seconds_tn
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the pinned 8-device WT/BFS fabric point twice — `sim-threads 1`
+/// then auto — and panics if the simulated cycle counts diverge (they
+/// are bit-identical by design; a mismatch is a determinism bug, not a
+/// perf regression).
+fn measure_fabric(shrink: u64) -> FabricPerf {
+    const DEVICES: usize = 8;
+    let algo = Algorithm::bfs(0);
+    let g = prepare_graph(
+        BenchmarkId::Wt,
+        graph::reorder::Preprocess::DbgHash,
+        shrink,
+        false,
+    );
+    let mut spec = RunSpec::new(crate::arch::ArchPoint::two_level_16_16());
+    spec.shrink = shrink;
+    let run_at = |threads: usize| {
+        let mut rc = spec.run_config();
+        rc.devices = DEVICES;
+        rc.sim_threads = threads;
+        let mut fab = Fabric::new(&g, algo, &rc);
+        let resolved = fab.sim_threads();
+        let t = Instant::now();
+        let r = fab.run();
+        (r.cycles, resolved, t.elapsed().as_secs_f64())
+    };
+    let (cycles_t1, _, wall_t1) = run_at(1);
+    let (cycles_tn, threads, wall_tn) = run_at(0);
+    assert_eq!(
+        cycles_t1, cycles_tn,
+        "fabric cycles diverged between sim-threads 1 and {threads}"
+    );
+    FabricPerf {
+        devices: DEVICES,
+        threads,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        cycles: cycles_t1,
+        wall_seconds_t1: wall_t1,
+        wall_seconds_tn: wall_tn,
     }
 }
 
@@ -128,13 +203,33 @@ pub fn run(scope: Scope, smoke: bool, out_path: Option<String>) -> String {
         }
     }
 
+    // The fabric threading point rides along in every mode: it is the
+    // only place host-side `sim-threads` scaling is measured, and its
+    // cycle count doubles as a determinism check (both runs must agree).
+    let fabric = measure_fabric(shrink);
+    for (arch, wall) in [
+        ("fabric8-t1", fabric.wall_seconds_t1),
+        ("fabric8-tN", fabric.wall_seconds_tn),
+    ] {
+        points.push(PerfPoint {
+            bench: BenchmarkId::Wt.tag().to_owned(),
+            algo: "bfs".to_owned(),
+            arch: arch.to_owned(),
+            cycles: fabric.cycles,
+            // The fabric loop has no idle skipping, so host ticks equal
+            // simulated cycles for these rows.
+            host_ticks: fabric.cycles,
+            wall_seconds: wall,
+        });
+    }
+
     let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", today()));
-    let json = render_json(&points);
+    let json = render_json(&points, Some(&fabric));
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote perf report to {path}"),
         Err(e) => eprintln!("error: cannot write {path}: {e}"),
     }
-    render_report(&points)
+    render_report(&points, Some(&fabric))
 }
 
 /// Aggregates totals over a measured point set.
@@ -145,7 +240,7 @@ fn totals(points: &[PerfPoint]) -> (u64, u64, f64) {
     (cycles, ticks, secs)
 }
 
-fn render_report(points: &[PerfPoint]) -> String {
+fn render_report(points: &[PerfPoint], fabric: Option<&FabricPerf>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== perf: host throughput per point ==");
     let _ = writeln!(
@@ -175,12 +270,27 @@ fn render_report(points: &[PerfPoint]) -> String {
         per_sec(ticks, secs),
         if ticks > 0 { cycles as f64 / ticks as f64 } else { 1.0 },
     );
+    if let Some(f) = fabric {
+        let _ = writeln!(
+            out,
+            "fabric: {} devices, sim-threads 1 vs {} ({} host cores): \
+             {} cycles in {:.3}s vs {:.3}s = {:.2}x speedup",
+            f.devices,
+            f.threads,
+            f.host_cores,
+            f.cycles,
+            f.wall_seconds_t1,
+            f.wall_seconds_tn,
+            f.speedup(),
+        );
+    }
     out
 }
 
-/// Renders the committed-baseline JSON: per-point rows plus totals. No
-/// external dependencies, so the format is assembled by hand.
-fn render_json(points: &[PerfPoint]) -> String {
+/// Renders the committed-baseline JSON: per-point rows, a fabric
+/// threading object, plus totals. No external dependencies, so the
+/// format is assembled by hand.
+fn render_json(points: &[PerfPoint], fabric: Option<&FabricPerf>) -> String {
     let (cycles, ticks, secs) = totals(points);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"date\": \"{}\",", today());
@@ -203,6 +313,22 @@ fn render_json(points: &[PerfPoint]) -> String {
         );
     }
     let _ = writeln!(out, "  ],");
+    if let Some(f) = fabric {
+        let _ = writeln!(
+            out,
+            "  \"fabric\": {{\"devices\": {}, \"threads\": {}, \
+             \"host_cores\": {}, \"cycles\": {}, \
+             \"wall_seconds_t1\": {:.6}, \"wall_seconds_tn\": {:.6}, \
+             \"speedup\": {:.3}}},",
+            f.devices,
+            f.threads,
+            f.host_cores,
+            f.cycles,
+            f.wall_seconds_t1,
+            f.wall_seconds_tn,
+            f.speedup(),
+        );
+    }
     let _ = writeln!(
         out,
         "  \"total\": {{\"cycles\": {cycles}, \"host_ticks\": {ticks}, \
@@ -263,11 +389,41 @@ mod tests {
             host_ticks: 800,
             wall_seconds: 0.5,
         }];
-        let json = render_json(&points);
+        let fabric = FabricPerf {
+            devices: 8,
+            threads: 4,
+            host_cores: 8,
+            cycles: 5000,
+            wall_seconds_t1: 1.0,
+            wall_seconds_tn: 0.4,
+        };
+        let json = render_json(&points, Some(&fabric));
         assert!(json.starts_with("{\n") && json.trim_end().ends_with('}'));
         assert!(json.contains("\"sim_cycles_per_sec\": 2000.0"));
         assert!(json.contains("\"host_ticks_per_sec\": 1600.0"));
+        assert!(json.contains("\"fabric\": {\"devices\": 8, \"threads\": 4"));
+        assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"total\""));
+        let bare = render_json(&points, None);
+        assert!(!bare.contains("\"fabric\""));
+    }
+
+    #[test]
+    fn fabric_speedup_is_t1_over_tn() {
+        let f = FabricPerf {
+            devices: 2,
+            threads: 2,
+            host_cores: 2,
+            cycles: 10,
+            wall_seconds_t1: 3.0,
+            wall_seconds_tn: 1.5,
+        };
+        assert!((f.speedup() - 2.0).abs() < 1e-9);
+        let zero = FabricPerf {
+            wall_seconds_tn: 0.0,
+            ..f
+        };
+        assert_eq!(zero.speedup(), 0.0);
     }
 
     #[test]

@@ -641,6 +641,50 @@ mod tests {
     }
 
     #[test]
+    fn device_map_with_more_devices_than_vertices() {
+        // 3 nodes across 8 devices: one lcm(2, 2) = 2-id grain gives two
+        // blocks, so at most two devices own nodes and the rest are
+        // surplus. Ownership must still cover every node exactly once.
+        let map = DeviceMap::new(Partitioner::new(2, 2), 3, 8);
+        assert_eq!(map.num_devices(), 8);
+        let mut owned = 0u32;
+        for dev in 0..8 {
+            let nodes = map.device_nodes(dev);
+            owned += nodes.end - nodes.start;
+            for v in nodes {
+                assert_eq!(map.owner_of_node(v), dev);
+            }
+        }
+        assert_eq!(owned, 3, "every node owned exactly once");
+        // Surplus devices extract empty locals without panicking.
+        let g = CooGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let mut edges = 0;
+        for dev in 0..8 {
+            edges += map.extract_local(&g, dev).num_edges();
+        }
+        assert_eq!(edges, 3);
+    }
+
+    #[test]
+    fn device_map_single_vertex_graph() {
+        // The degenerate 1-node graph: one destination interval, one
+        // block; device 0 owns the node, everyone else is surplus.
+        for num_devices in [1usize, 2, 4] {
+            let map = DeviceMap::new(Partitioner::new(4, 4), 1, num_devices);
+            assert_eq!(map.num_devices(), num_devices);
+            assert_eq!(map.device_nodes(0), 0..1);
+            assert_eq!(map.owner_of_node(0), 0);
+            assert_eq!(map.owner_of_d_interval(0), 0);
+            for dev in 1..num_devices {
+                assert!(map.device_nodes(dev).is_empty());
+                assert!(map.device_d_intervals(dev).is_empty());
+            }
+            let g = CooGraph::from_edges(1, vec![(0, 0)]);
+            assert_eq!(map.extract_local(&g, 0).num_edges(), 1);
+        }
+    }
+
+    #[test]
     fn device_map_preserves_weights_and_edge_order() {
         let g = CooGraph::from_weighted_edges(
             8,

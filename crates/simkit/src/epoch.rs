@@ -1,0 +1,146 @@
+//! Epoch-barrier parallel execution over independent shards.
+//!
+//! A globally synchronous simulation advances in *epochs*: every shard's
+//! inputs are fixed at the epoch boundary, each shard ticks independently
+//! to the next barrier, and only then does a (single-threaded) exchange
+//! phase couple them. Within an epoch the shards share no mutable state,
+//! so the host may run them on worker threads in any order — the results,
+//! collected back **in shard order**, are byte-identical to a sequential
+//! sweep.
+//!
+//! [`run_epoch`] is that parallel map: contiguous chunks of the shard
+//! slice are assigned to scoped worker threads, each worker writes its
+//! results into per-shard slots, and the caller receives a `Vec` indexed
+//! exactly like the input. With `threads <= 1` (or a single shard) it
+//! degenerates to the plain in-order `for` loop — the exact sequential
+//! code path, not an emulation of it.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::epoch::run_epoch;
+//!
+//! let mut shards = vec![1u64, 2, 3, 4, 5];
+//! let doubled = run_epoch(&mut shards, 4, |i, s| {
+//!     *s *= 2;
+//!     (i, *s)
+//! });
+//! assert_eq!(doubled, vec![(0, 2), (1, 4), (2, 6), (3, 8), (4, 10)]);
+//! ```
+
+/// Resolves a requested worker-thread count: `0` means "auto" — the
+/// minimum of the shard count and the host's available parallelism — and
+/// any explicit request is clamped to the shard count (extra workers
+/// would only idle).
+pub fn resolve_threads(requested: usize, shards: usize) -> usize {
+    let shards = shards.max(1);
+    if requested == 0 {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        cores.min(shards)
+    } else {
+        requested.min(shards)
+    }
+}
+
+/// Runs `f(index, item)` for every item of `items`, returning the results
+/// in item order.
+///
+/// With `threads > 1` the items are split into `threads` contiguous
+/// chunks, each processed by its own scoped worker thread; every result
+/// is written into the slot of its item, so the output order — and, for
+/// deterministic `f`, the output content — is independent of the thread
+/// count and of scheduling. With `threads <= 1` (or fewer than two
+/// items) the items are processed by a plain sequential loop on the
+/// calling thread.
+///
+/// Panics in `f` propagate to the caller once every worker has stopped
+/// (scoped threads join on scope exit).
+pub fn run_epoch<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest_items = &mut items[..];
+        let mut rest_slots = &mut slots[..];
+        let mut base = 0usize;
+        while !rest_items.is_empty() {
+            let take = chunk.min(rest_items.len());
+            let (chunk_items, tail_items) = rest_items.split_at_mut(take);
+            let (chunk_slots, tail_slots) = rest_slots.split_at_mut(take);
+            rest_items = tail_items;
+            rest_slots = tail_slots;
+            let start = base;
+            base += take;
+            scope.spawn(move || {
+                for (k, (item, slot)) in chunk_items.iter_mut().zip(chunk_slots).enumerate() {
+                    *slot = Some(f(start + k, item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every epoch slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let base: Vec<u64> = (0..23).collect();
+        let mut seq = base.clone();
+        let want = run_epoch(&mut seq, 1, |i, v| i as u64 * 1000 + *v * 3);
+        for threads in [2usize, 3, 8, 64] {
+            let mut par = base.clone();
+            let got = run_epoch(&mut par, threads, |i, v| i as u64 * 1000 + *v * 3);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mutations_land_on_the_right_items() {
+        let mut items: Vec<usize> = vec![0; 17];
+        run_epoch(&mut items, 4, |i, v| *v = i * 2);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_work() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(run_epoch(&mut empty, 4, |_, v| *v).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(run_epoch(&mut one, 8, |_, v| *v + 1), vec![8]);
+    }
+
+    #[test]
+    fn resolve_threads_clamps_and_autodetects() {
+        assert_eq!(resolve_threads(3, 8), 3);
+        assert_eq!(resolve_threads(16, 4), 4);
+        assert_eq!(resolve_threads(1, 8), 1);
+        let auto = resolve_threads(0, 8);
+        assert!((1..=8).contains(&auto));
+        // Auto never exceeds the shard count.
+        assert_eq!(resolve_threads(0, 1), 1);
+    }
+}

@@ -21,6 +21,9 @@
 //!   stage for stress-testing response streams.
 //! * [`trace`] — a zero-cost-when-disabled event/counter tracing layer
 //!   with Perfetto/Chrome-trace and CSV exporters.
+//! * [`epoch`] — an epoch-barrier parallel map over independent shards
+//!   whose ordered result collection keeps multi-threaded simulation
+//!   byte-identical to the sequential sweep.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod delay;
+pub mod epoch;
 pub mod fault;
 pub mod fifo;
 pub mod handshake;

@@ -23,7 +23,8 @@
 
 use std::fmt::Write as _;
 
-use accel::System;
+use accel::{Fabric, LinkTopology, System};
+use algos::Algorithm;
 use bench::experiments::Scope;
 use bench::RunSpec;
 use graph::benchmarks::BenchmarkId;
@@ -78,6 +79,54 @@ fn render_table() -> String {
             }
         }
     }
+    out.push_str(&render_fabric_table());
+    out
+}
+
+/// The blessed fabric configurations: WT at the pin shrink, BFS and a
+/// fixed-iteration PageRank, on 2/4/8 devices over both link topologies.
+/// The `arch` column carries `fabric<devices>-<topology>` so the rows
+/// share the single-device fixture format. Runs pin `sim_threads = 1`;
+/// the threading differential (`fabric_threading.rs`) separately proves
+/// every thread count reproduces these exact bytes.
+fn fabric_configs() -> Vec<(usize, LinkTopology)> {
+    let mut cfgs = Vec::new();
+    for devices in [2usize, 4, 8] {
+        for topology in [LinkTopology::AllToAll, LinkTopology::Ring] {
+            cfgs.push((devices, topology));
+        }
+    }
+    cfgs
+}
+
+fn render_fabric_table() -> String {
+    let scope = Scope::quick();
+    let bench = BenchmarkId::Wt;
+    let arch = scope.archs()[0];
+    let g = bench::prepare_graph(bench, Preprocess::DbgHash, PIN_SHRINK, false);
+    let mut out = String::new();
+    for (algo, iters) in [(Algorithm::bfs(0), None), (Algorithm::pagerank(), Some(2))] {
+        for (devices, topology) in fabric_configs() {
+            let mut spec = RunSpec::new(arch);
+            spec.shrink = PIN_SHRINK;
+            spec.max_iterations = iters;
+            let mut rc = spec.run_config();
+            rc.devices = devices;
+            rc.link.topology = topology;
+            rc.sim_threads = 1;
+            let result = Fabric::new(&g, algo, &rc).run();
+            let _ = writeln!(
+                out,
+                "{},{},fabric{}-{},{},{:016x}",
+                bench.tag(),
+                algo.name(),
+                devices,
+                topology.name(),
+                result.cycles,
+                fnv1a(&result.values)
+            );
+        }
+    }
     out
 }
 
@@ -114,16 +163,22 @@ fn fixture_covers_the_quick_matrix() {
         return; // the pinning test is writing a fresh fixture
     }
     let scope = Scope::quick();
-    let want_rows = scope.benches().len() * scope.algos().len() * scope.archs().len();
+    let single_rows = scope.benches().len() * scope.algos().len() * scope.archs().len();
+    // BFS and PageRank across every blessed fabric configuration.
+    let fabric_rows = 2 * fabric_configs().len();
     let fixture = std::fs::read_to_string(GOLDEN_FIXTURE)
         .expect("missing fixture; run with REPRO_BLESS_CYCLES=1 to create it");
     assert_eq!(
         fixture.lines().count(),
-        want_rows + 1, // header
-        "fixture row count does not match the quick-scope matrix"
+        single_rows + fabric_rows + 1, // header
+        "fixture row count does not match the quick-scope matrix plus fabric rows"
     );
     assert!(BenchmarkId::QUICK.iter().all(|b| fixture.contains(b.tag())));
     for algo in ["pagerank", "scc", "sssp"] {
         assert!(fixture.contains(algo), "fixture missing {algo}");
+    }
+    for (devices, topology) in fabric_configs() {
+        let label = format!("fabric{devices}-{}", topology.name());
+        assert!(fixture.contains(&label), "fixture missing {label} rows");
     }
 }

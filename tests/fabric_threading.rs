@@ -1,0 +1,175 @@
+//! Differential harness for multi-threaded fabric execution.
+//!
+//! The fabric's compute phase may fan each device shard out to its own
+//! host worker thread between link-exchange barriers, but the contract
+//! is absolute: **every observable byte is identical to the sequential
+//! path**. These tests enforce that by capturing the full `Debug`
+//! rendering of [`FabricRunResult`] — values, merged statistics, PE
+//! cycle breakdown, link-network counters, recovery report, and the
+//! link trace event stream — and comparing it across `sim_threads`
+//! settings, including under seeded link loss and a black-hole fault
+//! that completes only through checkpoint rollback.
+//!
+//! `sim_threads == 1` takes the plain in-order loop, so `1` vs `> 1`
+//! is a true sequential-vs-threaded differential, not two runs of the
+//! same code.
+
+use accel::{Driver, Fabric, FabricRunResult, RecoveryConfig, RunConfig};
+use algos::Algorithm;
+use graph::{CooGraph, GraphSpec};
+use simkit::{FaultConfig, FaultProfile};
+
+fn test_graph() -> CooGraph {
+    GraphSpec::rmat(9, 6)
+        .build(41)
+        .with_random_weights(0, 255, 3)
+}
+
+fn all_algos() -> [Algorithm; 4] {
+    [
+        Algorithm::bfs(0),
+        Algorithm::Scc,
+        Algorithm::sssp(0),
+        Algorithm::pagerank(),
+    ]
+}
+
+/// Runs the fabric with `threads` compute workers and renders every
+/// observable field. `FabricRunResult` carries no host-timing data, so
+/// two byte-identical renderings mean two indistinguishable runs.
+fn snapshot(g: &CooGraph, algo: Algorithm, rc: &RunConfig, threads: usize) -> String {
+    let mut rc = rc.clone();
+    rc.sim_threads = threads;
+    let r: FabricRunResult = Fabric::new(g, algo, &rc)
+        .run_to_outcome(None)
+        .unwrap_or_else(|e| panic!("{} at sim-threads {threads}: {e}", algo.name()));
+    format!("{r:?}")
+}
+
+#[test]
+fn every_algo_and_device_count_is_byte_identical_across_thread_counts() {
+    let g = test_graph();
+    for algo in all_algos() {
+        for devices in [2usize, 4, 8] {
+            let rc = Driver::new().devices(devices).run_config(&g);
+            let sequential = snapshot(&g, algo, &rc, 1);
+            for threads in [2usize, devices] {
+                let threaded = snapshot(&g, algo, &rc, threads);
+                assert_eq!(
+                    threaded,
+                    sequential,
+                    "{} on {devices} devices: sim-threads {threads} diverged \
+                     from the sequential run",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_event_streams_are_byte_identical_across_thread_counts() {
+    // Event-level link tracing captures per-message tx/rx timestamps —
+    // the finest-grained observable the fabric exports. The merged
+    // stream (and everything else) must not care how many host threads
+    // stepped the shards.
+    let g = test_graph();
+    let mut rc = Driver::new().devices(4).run_config(&g);
+    rc.trace = simkit::TraceConfig {
+        level: simkit::trace::TraceLevel::Events,
+        ..simkit::TraceConfig::default()
+    };
+    let sequential = snapshot(&g, Algorithm::bfs(0), &rc, 1);
+    assert!(
+        sequential.contains("link.tx") || sequential.contains("LinkTx"),
+        "trace capture is off — the differential would be vacuous"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            snapshot(&g, Algorithm::bfs(0), &rc, threads),
+            sequential,
+            "traced run diverged at sim-threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn seeded_lossy_links_stay_byte_identical_across_thread_counts() {
+    // Sustained 20% message loss exercises the retransmission path:
+    // timeouts, duplicate suppression, and per-link drop counters all
+    // land in the Debug rendering and must match byte for byte.
+    let g = test_graph();
+    let mut rc = Driver::new().devices(4).run_config(&g);
+    rc.link.fault = FaultConfig {
+        profile: FaultProfile::Lossy { permille: 200 },
+        seed: 41,
+    };
+    let sequential = snapshot(&g, Algorithm::sssp(0), &rc, 1);
+    assert!(
+        sequential.contains("retransmissions"),
+        "lossy run should surface transport counters"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            snapshot(&g, Algorithm::sssp(0), &rc, threads),
+            sequential,
+            "lossy run diverged at sim-threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn black_hole_recovery_is_byte_identical_across_thread_counts() {
+    // The hardest case: a black-holed link starves the barrier, the
+    // watchdog trips, and the run completes only through checkpoint
+    // rollback. Every rollback attempt (cause, cycle, cycles lost) and
+    // the recovered values must be identical whether the shards stepped
+    // sequentially or on worker threads.
+    let g = test_graph();
+    let mut rc = Driver::new().devices(8).run_config(&g);
+    rc.link.fault = FaultConfig {
+        profile: FaultProfile::BlackHole,
+        seed: 7,
+    };
+    rc.link.watchdog_cycles = Some(20_000);
+    rc.recovery = Some(RecoveryConfig {
+        checkpoint_interval: 1,
+        retention: 2,
+        max_attempts: 64,
+        reset_cycles: 10_000,
+    });
+    let sequential = snapshot(&g, Algorithm::sssp(0), &rc, 1);
+    assert!(
+        sequential.contains("RecoveryAttempt"),
+        "black hole never tripped recovery — the differential would be vacuous"
+    );
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            snapshot(&g, Algorithm::sssp(0), &rc, threads),
+            sequential,
+            "recovered run diverged at sim-threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn driver_and_run_config_plumb_sim_threads_to_the_fabric() {
+    let g = test_graph();
+    // Explicit requests are clamped to the device count, never below 1.
+    let rc = Driver::new().devices(4).sim_threads(16).run_config(&g);
+    assert_eq!(rc.sim_threads, 16, "run config carries the raw request");
+    let fab = Fabric::new(&g, Algorithm::bfs(0), &rc);
+    assert_eq!(fab.sim_threads(), 4, "fabric clamps to the shard count");
+    let mut rc1 = rc.clone();
+    rc1.sim_threads = 1;
+    assert_eq!(
+        Fabric::new(&g, Algorithm::bfs(0), &rc1).sim_threads(),
+        1,
+        "sim-threads 1 must select the sequential path"
+    );
+    // Auto (0) resolves to min(devices, cores) — at least 1 on any host.
+    let mut rc0 = rc.clone();
+    rc0.sim_threads = 0;
+    let auto = Fabric::new(&g, Algorithm::bfs(0), &rc0).sim_threads();
+    assert!((1..=4).contains(&auto), "auto resolved to {auto}");
+}
