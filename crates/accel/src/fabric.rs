@@ -183,6 +183,28 @@ impl LinkRetryConfig {
             "payload chunk size must be nonzero"
         );
     }
+
+    /// The retransmission timeout that follows `current`: exponential
+    /// backoff (doubling) saturated at [`rto_cap`](Self::rto_cap). The
+    /// multiply saturates before the cap is applied, so even a cap of
+    /// `u64::MAX` with a huge current timeout cannot overflow.
+    pub fn next_rto(&self, current: Cycle) -> Cycle {
+        current.saturating_mul(2).min(self.rto_cap)
+    }
+
+    /// The full backoff schedule from `initial`: the timeout charged for
+    /// each of the up-to-`max_attempts` retransmissions of one payload.
+    /// Deterministic for a fixed config — this *is* the arithmetic the
+    /// transport's retransmission scan applies, exposed for tests.
+    pub fn backoff_schedule(&self, initial: Cycle) -> Vec<Cycle> {
+        let mut delays = Vec::with_capacity(self.max_attempts as usize);
+        let mut rto = initial;
+        for _ in 0..self.max_attempts {
+            rto = self.next_rto(rto);
+            delays.push(rto);
+        }
+        delays
+    }
 }
 
 /// Configuration of the inter-accelerator link network.
@@ -1270,7 +1292,7 @@ impl Fabric {
                             break 'scan;
                         }
                         entry.attempts += 1;
-                        entry.rto = (entry.rto * 2).min(retry.rto_cap);
+                        entry.rto = retry.next_rto(entry.rto);
                         entry.deadline = now + entry.rto;
                         self.links[li].retransmits += 1;
                         self.retransmits_total += 1;

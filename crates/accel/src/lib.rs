@@ -40,6 +40,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod fabric;
+pub mod fuzz;
 pub mod pe;
 pub mod run_config;
 pub mod system;

@@ -18,7 +18,7 @@ pub struct GatherOutcome {
 ///
 /// The variants carry only the parameters that Table I lists; everything
 /// else (flags, widths, pipeline latency) is derived by the methods below.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// PageRank with damping 0.85, ForeGraph-style normalized scores:
     /// `V_DRAM` holds `PR/OD` as `f32` bits, `V_const` holds out-degrees,

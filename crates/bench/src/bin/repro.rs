@@ -15,7 +15,7 @@
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 ablate sweep syncasync paperscale related
-//!              explain fabric chaos-fabric perf all
+//!              explain fabric chaos-fabric perf fuzz all
 //! --full           all 12 benchmarks and all 7 architectures (slow)
 //! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
 //! --jobs N         worker threads for engine-driven experiments
@@ -62,11 +62,32 @@
 //! (or `--out PATH`). Wall-clock numbers live only in that report — the
 //! regular experiment exports stay byte-identical across hosts and
 //! `--jobs` values.
+//!
+//! `fuzz` runs the deterministic conformance fuzzer (`bench::fuzz`):
+//! random graph × algorithm × architecture × fabric × fault cases
+//! cross-checked against the CPU golden executors, sequential/threaded
+//! byte-identity, sync-vs-async fixpoints, and fault-equivalence. Extra
+//! flags:
+//!
+//! --seed N            master seed (default 1); same seed = same cases
+//! --budget-secs N     deterministic work budget (N × 150000 simulated
+//!                     cycles); same seed + budget = same summary
+//! --cases N           exact case count (default 200 without a budget)
+//! --replay SPEC       re-run one case: `@corpus-file` or `seed:index`
+//! --corpus DIR        where failing cases are saved
+//!                     (default tests/fixtures/fuzz_corpus)
+//! --inject-corruption test hook: corrupt each single-device result so
+//!                     the oracle stack and shrinker demonstrably fire
+//!
+//! On an oracle violation the case is shrunk to a minimal reproducer,
+//! saved to the corpus (replayed forever after by tests/fuzz_corpus.rs),
+//! and the run exits 1 with a one-line `--replay` command.
 //! ```
 
 use bench::cli::{CommonFlags, Cursor};
 use bench::engine;
 use bench::experiments::{self};
+use bench::fuzz;
 use simkit::trace::{to_chrome_json, to_csv, TraceReport};
 
 fn main() {
@@ -74,6 +95,13 @@ fn main() {
     let mut flags = CommonFlags::new();
     let mut which: Option<String> = None;
     let mut smoke = false;
+    let mut fopts = fuzz::FuzzOptions::default();
+    let mut fuzz_replay: Option<String> = None;
+    let mut any_fuzz_flag = false;
+    let fuzz_value = |cur: &mut Cursor, name: &str| -> String {
+        cur.next()
+            .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+    };
     while let Some(tok) = cur.next() {
         match flags.accept(&tok, &mut cur) {
             Ok(true) => continue,
@@ -82,6 +110,40 @@ fn main() {
         }
         match tok.as_str() {
             "--smoke" => smoke = true,
+            "--seed" => {
+                any_fuzz_flag = true;
+                fopts.seed = fuzz_value(&mut cur, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed wants an unsigned integer"));
+            }
+            "--budget-secs" => {
+                any_fuzz_flag = true;
+                fopts.budget_secs = Some(
+                    fuzz_value(&mut cur, "--budget-secs")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--budget-secs wants an unsigned integer")),
+                );
+            }
+            "--cases" => {
+                any_fuzz_flag = true;
+                fopts.max_cases = Some(
+                    fuzz_value(&mut cur, "--cases")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--cases wants an unsigned integer")),
+                );
+            }
+            "--replay" => {
+                any_fuzz_flag = true;
+                fuzz_replay = Some(fuzz_value(&mut cur, "--replay"));
+            }
+            "--corpus" => {
+                any_fuzz_flag = true;
+                fopts.corpus_dir = fuzz_value(&mut cur, "--corpus");
+            }
+            "--inject-corruption" => {
+                any_fuzz_flag = true;
+                fopts.corrupt = true;
+            }
             s if which.is_none() && !s.starts_with('-') => which = Some(s.to_owned()),
             s => usage(&format!("unknown argument {s}")),
         }
@@ -90,8 +152,26 @@ fn main() {
     if let Err(msg) = flags.finalize() {
         usage(&msg);
     }
+    if any_fuzz_flag && which != "fuzz" {
+        usage("--seed/--budget-secs/--cases/--replay/--corpus/--inject-corruption only apply to the fuzz experiment");
+    }
     let scope = flags.scope;
-    engine::set_global_config(flags.engine);
+    engine::set_global_config(flags.engine.clone());
+
+    // `fuzz` owns its whole lifecycle (budgeted loop, shrinking, corpus
+    // files) and reports failures through the same one-line + exit-1
+    // convention as the fabric sweeps.
+    if which == "fuzz" {
+        if let Some(t) = flags.engine.timeout {
+            fopts.per_case_timeout = t;
+        }
+        let run = match fuzz_replay {
+            Some(spec) => fuzz::replay(&spec, &fopts),
+            None => fuzz::run(&fopts),
+        };
+        print!("{}", run.unwrap_or_else(|msg| die(&msg)));
+        return;
+    }
 
     // `perf` owns its output file (host-timing JSON, not point records)
     // and runs nothing through the engine recorder.
@@ -201,6 +281,18 @@ fn main() {
             write_trace(&file, report);
         }
     }
+
+    // Same convention as the fabric sweeps and `fuzz`: a run that
+    // produced `failed` rows (panic or watchdog stall) exits nonzero
+    // with a one-line summary, after every requested export is written.
+    // Timed-out points don't count — an expiring `--timeout-secs`
+    // budget is a requested bound, not an engine failure.
+    let failed = engine::failed_points();
+    if failed > 0 {
+        die(&format!(
+            "{failed} point(s) failed (panic or watchdog stall); see the rows marked `failed` above"
+        ));
+    }
 }
 
 fn write_or_die(path: &str, rendered: &str) {
@@ -255,8 +347,10 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|fabric|\
-         chaos-fabric|perf|all> \
+         chaos-fabric|perf|fuzz|all> \
          [--full] [--smoke] [--shrink N] [--jobs N] [--timeout-secs S] \
+         [--seed N] [--budget-secs N] [--cases N] [--replay SPEC] [--corpus DIR] \
+         [--inject-corruption] \
          [--out PATH] [--format json|csv] \
          [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \
          [--fault-seed N] [--watchdog-cycles N] \

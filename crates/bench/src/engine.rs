@@ -334,6 +334,24 @@ static GLOBAL: Mutex<GlobalState> = Mutex::new(GlobalState {
     traces: None,
 });
 
+/// Process-wide count of points that ended in [`Outcome::Failed`]
+/// (panic or watchdog stall). The `repro` binary checks this after the
+/// run and exits nonzero with a one-line summary, so a sweep whose table
+/// prints `failed` rows cannot still report success to CI. Timed-out
+/// points are excluded: a `--timeout-secs` budget expiring is a
+/// requested bound, not an engine failure.
+static FAILED_POINTS: AtomicUsize = AtomicUsize::new(0);
+
+/// Records one engine-level point failure (see [`failed_points`]).
+pub(crate) fn note_point_failure() {
+    FAILED_POINTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// How many points have failed (panicked or stalled) so far.
+pub fn failed_points() -> usize {
+    FAILED_POINTS.load(Ordering::Relaxed)
+}
+
 /// Installs the process-wide engine configuration.
 pub fn set_global_config(cfg: EngineConfig) {
     GLOBAL.lock().unwrap().config = cfg;
@@ -543,6 +561,7 @@ fn run_one(point: &PointSpec, cache: &GraphCache, timeout: Option<Duration>) -> 
     .unwrap_or_else(|payload| {
         // The runner funnel never got to record this point; do it here so
         // the export still carries one row per submitted point.
+        note_point_failure();
         let failure = Err(RunFailure::Failed(panic_message(payload.as_ref())));
         maybe_record(|| PointResult::new(point, &failure, t.elapsed().as_secs_f64()));
         failure

@@ -11,6 +11,7 @@ pub mod cli;
 pub mod engine;
 pub mod experiments;
 pub mod explain;
+pub mod fuzz;
 pub mod microbench;
 pub mod perf;
 pub mod runner;

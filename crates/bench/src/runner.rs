@@ -191,6 +191,9 @@ pub fn run_graph_outcome(
             payload.as_ref(),
         ))),
     };
+    if matches!(out, Err(RunFailure::Failed(_))) {
+        crate::engine::note_point_failure();
+    }
     crate::engine::maybe_record(|| {
         crate::engine::PointResult::from_outcome(bench_tag, algo, spec, &out, sim_seconds)
     });

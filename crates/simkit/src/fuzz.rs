@@ -1,0 +1,338 @@
+//! Deterministic fuzzing framework: seed scheduling, greedy case
+//! shrinking, and a stable `key=value` corpus line format.
+//!
+//! This module holds the *generic* machinery of the conformance fuzzer.
+//! It knows nothing about graphs or accelerators — the concrete case
+//! grammar and the differential oracle stack live above it (see
+//! `bench::fuzz`), which keeps the framework reusable and keeps this
+//! crate at the bottom of the dependency order.
+//!
+//! The three pieces:
+//!
+//! * [`case_seed`] — derives the per-case RNG seed from a master seed and
+//!   a case index, so a whole fuzz run is replayable from `(master, i)`
+//!   and any single case is replayable in isolation.
+//! * [`shrink`] — a greedy, deterministic delta-debugging loop: given a
+//!   failing case, a candidate generator, and the failure predicate, it
+//!   walks toward a locally minimal case, re-checking the predicate after
+//!   every proposed reduction.
+//! * [`KvLine`] — encode/parse for the corpus text format: one case per
+//!   line as whitespace-separated `key=value` pairs. The format is
+//!   byte-stable (keys keep insertion order) so corpus files diff cleanly
+//!   and replay bit-identically.
+
+use crate::SplitMix64;
+
+/// Derives the deterministic RNG seed for case `index` of a fuzz run
+/// with master seed `master`.
+///
+/// Neighbouring indices must yield unrelated streams, so the index is
+/// spread with the golden-ratio multiplier and the result is passed
+/// through one SplitMix64 round rather than handed to the generator
+/// raw.
+pub fn case_seed(master: u64, index: u64) -> u64 {
+    let mixed = master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    SplitMix64::new(mixed).next_u64()
+}
+
+/// The result of a [`shrink`] run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome<C> {
+    /// The locally minimal failing case.
+    pub minimal: C,
+    /// Reductions that were accepted (the predicate still failed).
+    pub accepted: usize,
+    /// Total predicate evaluations spent, accepted or not.
+    pub evals: usize,
+    /// Whether shrinking stopped at a fixpoint (no candidate of the
+    /// minimal case fails) rather than at the evaluation budget.
+    pub converged: bool,
+}
+
+/// Greedily shrinks a failing case to a local minimum.
+///
+/// `candidates` proposes strictly "smaller" variants of a case, in
+/// priority order (try the biggest reductions first). `still_fails`
+/// re-runs the oracle; a candidate that still fails becomes the new
+/// current case and the pass restarts. The loop ends when no candidate
+/// fails (converged) or after `max_evals` oracle evaluations.
+///
+/// Both closures are called deterministically, so a shrink of the same
+/// case with the same oracle always lands on the same minimum.
+///
+/// `initial` must itself be failing — the caller has just observed the
+/// failure — so the function never evaluates it again.
+pub fn shrink<C: Clone>(
+    initial: C,
+    mut still_fails: impl FnMut(&C) -> bool,
+    mut candidates: impl FnMut(&C) -> Vec<C>,
+    max_evals: usize,
+) -> ShrinkOutcome<C> {
+    let mut current = initial;
+    let mut accepted = 0;
+    let mut evals = 0;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if evals >= max_evals {
+                return ShrinkOutcome {
+                    minimal: current,
+                    accepted,
+                    evals,
+                    converged: false,
+                };
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                current = cand;
+                accepted += 1;
+                improved = true;
+                break; // restart the pass from the smaller case
+            }
+        }
+        if !improved {
+            return ShrinkOutcome {
+                minimal: current,
+                accepted,
+                evals,
+                converged: true,
+            };
+        }
+    }
+}
+
+/// One corpus line: an ordered list of `key=value` pairs.
+///
+/// Encoding writes pairs in insertion order separated by single spaces;
+/// parsing accepts any whitespace between pairs and `#`-prefixed
+/// comment/blank lines are the *caller's* concern (a corpus file holds
+/// comment lines plus exactly one case line). Keys and values must be
+/// non-empty and free of whitespace; values may contain further `=`
+/// characters (the split is on the first one).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvLine {
+    pairs: Vec<(String, String)>,
+}
+
+impl KvLine {
+    /// An empty line to be filled with [`push`](KvLine::push).
+    pub fn new() -> Self {
+        KvLine::default()
+    }
+
+    /// Appends a pair. Panics if the key or value is empty or contains
+    /// whitespace — corpus writers control both, so this is a programmer
+    /// error, not input validation.
+    pub fn push(&mut self, key: &str, value: impl ToString) {
+        let value = value.to_string();
+        assert!(
+            !key.is_empty() && !key.chars().any(char::is_whitespace),
+            "bad corpus key {key:?}"
+        );
+        assert!(
+            !value.is_empty() && !value.chars().any(char::is_whitespace),
+            "bad corpus value {value:?} for key {key:?}"
+        );
+        self.pairs.push((key.to_owned(), value));
+    }
+
+    /// Renders the line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Parses a line of `key=value` tokens.
+    pub fn parse(line: &str) -> Result<KvLine, String> {
+        let mut pairs = Vec::new();
+        for tok in line.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("corpus token {tok:?} is not key=value"))?;
+            if k.is_empty() || v.is_empty() {
+                return Err(format!("corpus token {tok:?} has an empty key or value"));
+            }
+            pairs.push((k.to_owned(), v.to_owned()));
+        }
+        if pairs.is_empty() {
+            return Err("empty corpus line".to_owned());
+        }
+        Ok(KvLine { pairs })
+    }
+
+    /// The value for `key`, if present (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value for `key`, or an error naming the missing key.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("corpus line is missing key {key:?}"))
+    }
+
+    /// Parses the value for `key` into `T`, or errors naming the key.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.require(key)?.parse().map_err(|_| {
+            format!(
+                "corpus key {key:?} has unparsable value {:?}",
+                self.get(key)
+            )
+        })
+    }
+
+    /// Like [`parsed`](KvLine::parsed) but returns `default` when the
+    /// key is absent (still errors on a present-but-unparsable value).
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(_) => self.parsed(key),
+        }
+    }
+
+    /// Keys present on the line but not in `known` — lets a parser
+    /// reject misspelled keys instead of silently ignoring them.
+    pub fn unknown_keys(&self, known: &[&str]) -> Vec<String> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| !known.contains(&k.as_str()))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_deterministic_and_spread() {
+        assert_eq!(case_seed(7, 0), case_seed(7, 0));
+        assert_ne!(case_seed(7, 0), case_seed(7, 1));
+        assert_ne!(case_seed(7, 0), case_seed(8, 0));
+        // Nearby indices share no obvious structure: all 64 first seeds
+        // are distinct.
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|i| case_seed(1, i)).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn shrink_minimizes_a_toy_list_case() {
+        // Failure: the list contains the element 13. Minimal case: [13].
+        let initial: Vec<u32> = (0..100).collect();
+        let out = shrink(
+            initial,
+            |c| c.contains(&13),
+            |c| {
+                let mut cands = Vec::new();
+                if c.len() > 1 {
+                    let mid = c.len() / 2;
+                    cands.push(c[..mid].to_vec());
+                    cands.push(c[mid..].to_vec());
+                    // Dropping single elements finishes the job once the
+                    // halves stop failing.
+                    for i in 0..c.len() {
+                        let mut d = c.clone();
+                        d.remove(i);
+                        cands.push(d);
+                    }
+                }
+                cands
+            },
+            10_000,
+        );
+        assert_eq!(out.minimal, vec![13]);
+        assert!(out.converged);
+        assert!(out.accepted > 0);
+        assert!(out.evals >= out.accepted);
+    }
+
+    #[test]
+    fn shrink_respects_the_eval_budget() {
+        let out = shrink(
+            vec![0u32; 64],
+            |_| true, // everything fails: shrinking would run forever
+            |c| {
+                if c.len() > 1 {
+                    vec![c[..c.len() - 1].to_vec()]
+                } else {
+                    Vec::new()
+                }
+            },
+            10,
+        );
+        assert_eq!(out.evals, 10);
+        assert!(!out.converged);
+        assert_eq!(out.minimal.len(), 64 - 10);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let run = || {
+            shrink(
+                (0..40u32).collect::<Vec<_>>(),
+                |c| c.iter().sum::<u32>() >= 50,
+                |c| {
+                    (0..c.len())
+                        .map(|i| {
+                            let mut d = c.clone();
+                            d.remove(i);
+                            d
+                        })
+                        .collect()
+                },
+                1_000,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.minimal, b.minimal);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn kv_line_roundtrips() {
+        let mut line = KvLine::new();
+        line.push("graph", "rmat:5:4");
+        line.push("seed", 42u64);
+        line.push("algo", "sssp:0");
+        let enc = line.encode();
+        assert_eq!(enc, "graph=rmat:5:4 seed=42 algo=sssp:0");
+        let back = KvLine::parse(&enc).unwrap();
+        assert_eq!(back, line);
+        assert_eq!(back.get("seed"), Some("42"));
+        assert_eq!(back.parsed::<u64>("seed").unwrap(), 42);
+        assert_eq!(back.parsed_or::<u32>("devices", 1).unwrap(), 1);
+        assert!(back.parsed::<u64>("algo").is_err());
+        assert!(back.require("missing").is_err());
+        assert_eq!(
+            back.unknown_keys(&["graph", "seed", "algo"]),
+            Vec::<String>::new()
+        );
+        assert_eq!(back.unknown_keys(&["graph", "seed"]), vec!["algo"]);
+    }
+
+    #[test]
+    fn kv_line_rejects_malformed_input() {
+        assert!(KvLine::parse("").is_err());
+        assert!(KvLine::parse("   ").is_err());
+        assert!(KvLine::parse("novalue").is_err());
+        assert!(KvLine::parse("=v").is_err());
+        assert!(KvLine::parse("k=").is_err());
+        // Values may contain '=': split happens at the first one.
+        let l = KvLine::parse("k=a=b").unwrap();
+        assert_eq!(l.get("k"), Some("a=b"));
+    }
+}

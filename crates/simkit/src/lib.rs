@@ -24,6 +24,9 @@
 //! * [`epoch`] — an epoch-barrier parallel map over independent shards
 //!   whose ordered result collection keeps multi-threaded simulation
 //!   byte-identical to the sequential sweep.
+//! * [`fuzz`] — the deterministic fuzzing framework: per-case seed
+//!   scheduling, a greedy shrinking loop, and the stable `key=value`
+//!   corpus line format the conformance fuzzer's regression corpus uses.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod delay;
 pub mod epoch;
 pub mod fault;
 pub mod fifo;
+pub mod fuzz;
 pub mod handshake;
 pub mod record;
 pub mod rng;

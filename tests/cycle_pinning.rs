@@ -80,6 +80,7 @@ fn render_table() -> String {
         }
     }
     out.push_str(&render_fabric_table());
+    out.push_str(&render_degenerate_table());
     out
 }
 
@@ -130,6 +131,53 @@ fn render_fabric_table() -> String {
     out
 }
 
+/// The degenerate shapes the conformance fuzzer's case grammar samples,
+/// pinned on the default single-device design: the zero-work paths
+/// (no nodes, no edges, self-loops only) have their own scheduling and
+/// convergence corners, and a cycle drift there would be invisible to
+/// every benchmark-sized row above.
+fn degenerate_shapes() -> Vec<(&'static str, graph::CooGraph, Algorithm)> {
+    use graph::CooGraph;
+    vec![
+        (
+            "degen-empty",
+            CooGraph::from_edges(0, Vec::new()),
+            Algorithm::bfs(0),
+        ),
+        (
+            "degen-single",
+            CooGraph::from_edges(1, Vec::new()),
+            Algorithm::pagerank(),
+        ),
+        (
+            "degen-loops8",
+            CooGraph::from_edges(8, (0..8).map(|i| (i, i)).collect()),
+            Algorithm::Scc,
+        ),
+        (
+            "degen-disc32",
+            CooGraph::from_edges(32, Vec::new()),
+            Algorithm::Wcc,
+        ),
+    ]
+}
+
+fn render_degenerate_table() -> String {
+    let mut out = String::new();
+    for (tag, g, algo) in degenerate_shapes() {
+        let (cfg, partitioner) = accel::Driver::new().run_config(&g).build();
+        let result = System::new(&g, partitioner, algo, cfg).run();
+        let _ = writeln!(
+            out,
+            "{tag},{},default,{},{:016x}",
+            algo.name(),
+            result.cycles,
+            fnv1a(&result.values)
+        );
+    }
+    out
+}
+
 #[test]
 fn quick_scope_cycle_counts_are_pinned() {
     let got = render_table();
@@ -166,12 +214,14 @@ fn fixture_covers_the_quick_matrix() {
     let single_rows = scope.benches().len() * scope.algos().len() * scope.archs().len();
     // BFS and PageRank across every blessed fabric configuration.
     let fabric_rows = 2 * fabric_configs().len();
+    let degenerate_rows = degenerate_shapes().len();
     let fixture = std::fs::read_to_string(GOLDEN_FIXTURE)
         .expect("missing fixture; run with REPRO_BLESS_CYCLES=1 to create it");
     assert_eq!(
         fixture.lines().count(),
-        single_rows + fabric_rows + 1, // header
-        "fixture row count does not match the quick-scope matrix plus fabric rows"
+        single_rows + fabric_rows + degenerate_rows + 1, // header
+        "fixture row count does not match the quick-scope matrix plus fabric \
+         and degenerate rows"
     );
     assert!(BenchmarkId::QUICK.iter().all(|b| fixture.contains(b.tag())));
     for algo in ["pagerank", "scc", "sssp"] {
@@ -180,5 +230,8 @@ fn fixture_covers_the_quick_matrix() {
     for (devices, topology) in fabric_configs() {
         let label = format!("fabric{devices}-{}", topology.name());
         assert!(fixture.contains(&label), "fixture missing {label} rows");
+    }
+    for (tag, _, _) in degenerate_shapes() {
+        assert!(fixture.contains(tag), "fixture missing the {tag} row");
     }
 }

@@ -28,11 +28,12 @@ fn test_graph() -> CooGraph {
         .with_random_weights(0, 255, 3)
 }
 
-fn all_algos() -> [Algorithm; 4] {
+fn all_algos() -> [Algorithm; 5] {
     [
         Algorithm::bfs(0),
         Algorithm::Scc,
         Algorithm::sssp(0),
+        Algorithm::Wcc,
         Algorithm::pagerank(),
     ]
 }
@@ -76,7 +77,12 @@ fn one_device_fabric_is_cycle_identical_to_system() {
 #[test]
 fn sharded_runs_match_golden_exactly() {
     let g = test_graph();
-    for algo in [Algorithm::bfs(0), Algorithm::Scc, Algorithm::sssp(0)] {
+    for algo in [
+        Algorithm::bfs(0),
+        Algorithm::Scc,
+        Algorithm::sssp(0),
+        Algorithm::Wcc,
+    ] {
         let expect = golden::run(&algo, &g);
         for devices in [2, 4, 8] {
             let r = run_fabric(&g, algo, devices);

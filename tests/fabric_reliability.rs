@@ -3,7 +3,7 @@
 //!
 //! * Every graceful fault profile plus sustained loss and duplication on
 //!   the link delivery path must be masked by the transport alone:
-//!   BFS/SSSP/SCC stay golden-exact on 2/4/8 devices, PageRank stays
+//!   BFS/SSSP/SCC/WCC stay golden-exact on 2/4/8 devices, PageRank stays
 //!   within fp noise, and no run rolls back — loss shows up only as
 //!   retransmissions and extra exchange cycles.
 //! * Seeded lossy runs must export byte-identical value rows to the
@@ -75,7 +75,12 @@ fn run_with_fault(
 #[test]
 fn sustained_link_faults_are_masked_by_retransmission() {
     let g = test_graph();
-    for algo in [Algorithm::bfs(0), Algorithm::Scc, Algorithm::sssp(0)] {
+    for algo in [
+        Algorithm::bfs(0),
+        Algorithm::Scc,
+        Algorithm::sssp(0),
+        Algorithm::Wcc,
+    ] {
         let expect = golden::run(&algo, &g);
         for fault in maskable_faults() {
             for devices in [2usize, 4, 8] {

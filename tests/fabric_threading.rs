@@ -25,11 +25,12 @@ fn test_graph() -> CooGraph {
         .with_random_weights(0, 255, 3)
 }
 
-fn all_algos() -> [Algorithm; 4] {
+fn all_algos() -> [Algorithm; 5] {
     [
         Algorithm::bfs(0),
         Algorithm::Scc,
         Algorithm::sssp(0),
+        Algorithm::Wcc,
         Algorithm::pagerank(),
     ]
 }

@@ -1,0 +1,86 @@
+//! Replays the committed fuzz regression corpus.
+//!
+//! Every `case-*.txt` under `tests/fixtures/fuzz_corpus/` — seeded
+//! entries plus every minimal reproducer the conformance fuzzer has ever
+//! saved — is run through the full differential oracle stack and must
+//! pass. A fuzz-found bug therefore stays fixed: its minimized case
+//! fails tier-1 the moment a regression reintroduces it.
+//!
+//! `injected-*.txt` entries are demonstrations of the `--inject-corruption`
+//! test hook (they replay *red* by construction, proving the oracle
+//! stack and shrinker fire); this test checks they still parse, and that
+//! their deliberately-corrupted replay is still caught, but does not
+//! require them to pass.
+
+use std::time::Duration;
+
+use bench::fuzz::{parse_corpus_file, CaseOutcome, FuzzOptions};
+
+const CORPUS_DIR: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/fuzz_corpus"
+);
+
+fn corpus_entries(prefix: &str) -> Vec<(String, String)> {
+    let mut entries: Vec<(String, String)> = std::fs::read_dir(CORPUS_DIR)
+        .expect("corpus directory is missing")
+        .map(|e| e.expect("unreadable corpus entry").path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy();
+            name.starts_with(prefix) && name.ends_with(".txt")
+        })
+        .map(|p| {
+            let body = std::fs::read_to_string(&p).expect("unreadable corpus file");
+            (p.file_name().unwrap().to_string_lossy().into_owned(), body)
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn opts() -> FuzzOptions {
+    FuzzOptions {
+        per_case_timeout: Duration::from_secs(300),
+        ..FuzzOptions::default()
+    }
+}
+
+#[test]
+fn every_corpus_entry_replays_green() {
+    let entries = corpus_entries("case-");
+    assert!(
+        !entries.is_empty(),
+        "the regression corpus must not be empty"
+    );
+    let opts = opts();
+    for (name, body) in entries {
+        let case = parse_corpus_file(&body).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !case.corrupt,
+            "{name}: case-* entries must not carry the corruption hook"
+        );
+        match bench::fuzz::check_case(&case, &opts) {
+            CaseOutcome::Pass { .. } => {}
+            other => panic!("{name}: corpus entry no longer replays green: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn injected_entries_still_demonstrate_the_oracles() {
+    // Optional by construction: injected-* files exist only after someone
+    // runs `repro fuzz --inject-corruption` and commits the result.
+    for (name, body) in corpus_entries("injected-") {
+        let case = parse_corpus_file(&body).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            case.corrupt,
+            "{name}: injected-* entries must carry the corruption hook"
+        );
+        match bench::fuzz::check_case(&case, &opts()) {
+            CaseOutcome::Fail(_) => {}
+            other => {
+                panic!("{name}: injected corruption is no longer caught by any oracle: {other:?}")
+            }
+        }
+    }
+}

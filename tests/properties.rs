@@ -223,3 +223,141 @@ fn reorder_permutations_are_bijective() {
         assert!(graph::reorder::is_permutation(&both), "case {case}");
     }
 }
+
+#[test]
+fn link_retry_backoff_never_overflows_and_is_monotone() {
+    // Exponential backoff over the full space of retry geometries,
+    // including adversarial corners (rto and cap at u64::MAX): the
+    // schedule must never overflow, never decrease, never exceed the
+    // cap, and stay pinned at the cap once it reaches it.
+    let mut rng = SplitMix64::new(0x5eed_0009);
+    for case in 0..200 {
+        let mut retry = accel::LinkRetryConfig::default();
+        retry.rto = match rng.next_below(4) {
+            0 => 1 + rng.next_below(1 << 12),
+            1 => 1 + rng.next_below(1 << 40),
+            2 => u64::MAX - rng.next_below(4),
+            _ => u64::MAX / 2 + rng.next_below(1 << 20),
+        };
+        retry.rto_cap = match rng.next_below(3) {
+            0 => retry.rto.saturating_add(rng.next_below(1 << 16)),
+            1 => u64::MAX,
+            _ => 1 + rng.next_below(1 << 30),
+        };
+        retry.max_attempts = 1 + rng.next_below(64) as u32;
+        let schedule = retry.backoff_schedule(retry.rto);
+        assert_eq!(
+            schedule.len(),
+            retry.max_attempts as usize,
+            "case {case}: one delay per permitted retransmission"
+        );
+        let mut capped = false;
+        for (i, &rto) in schedule.iter().enumerate() {
+            assert!(
+                rto <= retry.rto_cap,
+                "case {case}, attempt {i}: {rto} exceeds cap {}",
+                retry.rto_cap
+            );
+            if i > 0 {
+                assert!(
+                    rto >= schedule[i - 1],
+                    "case {case}, attempt {i}: backoff decreased ({} -> {rto})",
+                    schedule[i - 1]
+                );
+            }
+            if capped {
+                assert_eq!(
+                    rto, retry.rto_cap,
+                    "case {case}, attempt {i}: left the cap after reaching it"
+                );
+            }
+            capped = rto == retry.rto_cap;
+        }
+        // Deterministic: the same config always yields the same schedule.
+        assert_eq!(schedule, retry.backoff_schedule(retry.rto), "case {case}");
+        // Each step is exactly the transport's scan arithmetic.
+        assert_eq!(schedule[0], retry.next_rto(retry.rto), "case {case}");
+    }
+}
+
+#[test]
+fn graph_generators_honour_their_specs() {
+    // Every family, over random geometry: node/edge counts match the
+    // spec's promise, endpoints stay in range, and the same seed yields
+    // the identical edge list (the property the fuzzer's corpus format
+    // depends on to rebuild family cases from one line of text).
+    use graph::GraphSpec;
+    let mut rng = SplitMix64::new(0x5eed_000a);
+    for case in 0..CASES {
+        let seed = rng.next_below(1 << 20);
+        let scale = 4 + rng.next_below(4) as u32;
+        let deg = 1 + rng.next_below(6) as u32;
+        let er_n = 2 + rng.next_below(200) as u32;
+        let er_m = 1 + rng.next_below(800) as usize;
+        let ba_m = 1 + rng.next_below(4) as u32;
+        let ba_n = ba_m + 1 + rng.next_below(150) as u32;
+        let ws_k = 2 * (1 + rng.next_below(3) as u32);
+        let ws_n = ws_k + 1 + rng.next_below(150) as u32;
+        let specs: Vec<(&str, GraphSpec, u32, Option<usize>)> = vec![
+            (
+                "rmat",
+                GraphSpec::rmat(scale, deg),
+                1 << scale,
+                Some((1usize << scale) * deg as usize),
+            ),
+            ("er", GraphSpec::erdos_renyi(er_n, er_m), er_n, Some(er_m)),
+            (
+                "ba",
+                GraphSpec::barabasi_albert(ba_n, ba_m),
+                ba_n,
+                Some(((ba_n - ba_m) * ba_m) as usize),
+            ),
+            (
+                "ws",
+                GraphSpec::watts_strogatz(ws_n, ws_k, 0.25),
+                ws_n,
+                Some((ws_n * ws_k) as usize),
+            ),
+        ];
+        for (family, spec, want_nodes, want_edges) in specs {
+            let g = spec.build(seed);
+            assert_eq!(
+                g.num_nodes(),
+                want_nodes,
+                "case {case} {family}: node count"
+            );
+            if let Some(m) = want_edges {
+                assert_eq!(g.num_edges(), m, "case {case} {family}: edge count");
+            }
+            for i in 0..g.num_edges() {
+                let (s, d, _) = g.edge(i);
+                assert!(
+                    s < want_nodes && d < want_nodes,
+                    "case {case} {family}: edge {i} ({s}->{d}) out of range"
+                );
+            }
+            // Same seed, same graph — bit for bit.
+            let again = spec.build(seed);
+            assert_eq!(
+                again.num_edges(),
+                g.num_edges(),
+                "case {case} {family}: edge count changed on rebuild"
+            );
+            for i in 0..g.num_edges() {
+                assert_eq!(
+                    again.edge(i),
+                    g.edge(i),
+                    "case {case} {family}: edge {i} changed on rebuild"
+                );
+            }
+            // A different seed should not (for non-degenerate sizes)
+            // reproduce the same structure edge-for-edge.
+            let other = spec.build(seed ^ 0xdead_beef);
+            let differs = g.num_edges() != other.num_edges()
+                || (0..g.num_edges()).any(|i| g.edge(i) != other.edge(i));
+            if g.num_edges() >= 8 && family != "ws" {
+                assert!(differs, "case {case} {family}: seed does not matter");
+            }
+        }
+    }
+}
