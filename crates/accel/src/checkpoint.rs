@@ -33,6 +33,20 @@ pub struct Checkpoint {
 }
 
 /// Bounded ring of the most recent checkpoints.
+///
+/// # Eviction order
+///
+/// Eviction is deterministic and strictly oldest-first: [`save`]
+/// appends at the back and pops from the front until at most
+/// [`capacity`](CheckpointStore::capacity) checkpoints remain, so the
+/// retained window is always the contiguous run of the newest saves, in
+/// save order, regardless of how many sessions share the store or how
+/// their saves interleave. Two runs that issue the same save sequence
+/// observe byte-identical stores — the serving layer relies on this to
+/// keep preempt/park/evict decisions reproducible when many concurrent
+/// sessions checkpoint against bounded capacity.
+///
+/// [`save`]: CheckpointStore::save
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
     retention: usize,
@@ -75,6 +89,15 @@ impl CheckpointStore {
     /// Checkpoints currently retained.
     pub fn len(&self) -> usize {
         self.saved.len()
+    }
+
+    /// Maximum checkpoints the store retains before [`save`]
+    /// (oldest-first) eviction kicks in — the clamped `retention` this
+    /// store was built with.
+    ///
+    /// [`save`]: CheckpointStore::save
+    pub fn capacity(&self) -> usize {
+        self.retention
     }
 
     /// `true` when no checkpoint was ever saved (or all were evicted).
@@ -246,10 +269,22 @@ mod tests {
     #[test]
     fn zero_retention_is_clamped_to_one() {
         let mut s = CheckpointStore::new(0);
+        assert_eq!(s.capacity(), 1);
         s.save(ckpt(1));
         s.save(ckpt(2));
         assert_eq!(s.len(), 1);
         assert_eq!(s.latest().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn capacity_reports_the_clamped_retention() {
+        assert_eq!(CheckpointStore::new(5).capacity(), 5);
+        let mut s = CheckpointStore::new(3);
+        for i in 0..9 {
+            s.save(ckpt(i));
+            assert!(s.len() <= s.capacity());
+        }
+        assert_eq!(s.len(), s.capacity());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!
 //! experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 ablate sweep syncasync paperscale related
-//!              explain fabric chaos-fabric perf fuzz all
+//!              explain fabric chaos-fabric serve perf fuzz all
 //! --full           all 12 benchmarks and all 7 architectures (slow)
 //! --shrink N       extra graph shrink factor (default 4; 1 = largest scale)
 //! --jobs N         worker threads for engine-driven experiments
@@ -82,6 +82,27 @@
 //! On an oracle violation the case is shrunk to a minimal reproducer,
 //! saved to the corpus (replayed forever after by tests/fuzz_corpus.rs),
 //! and the run exits 1 with a one-line `--replay` command.
+//!
+//! `serve` sweeps offered load over the multi-tenant serving layer
+//! (`serve` crate): each rate point replays the seeded request stream at
+//! a different arrival rate through admission control, class queues,
+//! co-batching, and checkpoint-based preemption, and exports the
+//! saturation curve (latency quantiles, goodput, shed rate, fairness).
+//! Same seed + config = byte-identical output at any `--jobs` or
+//! `--sim-threads` setting. Extra flags:
+//!
+//! --seed N          master workload seed (default 1)
+//! --requests N      requests per rate point (default 100)
+//! --slots N         device slots in the pool (default 2)
+//! --slot-devices N  devices per slot; >1 runs each job on a fabric
+//! --quantum N       preemption quantum in iterations (default 2)
+//! --max-queue N     admission-control queue bound (default 16)
+//!
+//! A golden-reference divergence or scheduler stall exits 1 with a
+//! one-line summary; watchdog trips are reported per row and also
+//! exit 1 after every requested export is written. Unknown flags print
+//! the invoked subcommand's own usage (exit 2) instead of the full
+//! flag universe.
 //! ```
 
 use bench::cli::{CommonFlags, Cursor};
@@ -91,13 +112,20 @@ use bench::fuzz;
 use simkit::trace::{to_chrome_json, to_csv, TraceReport};
 
 fn main() {
-    let mut cur = Cursor::new(std::env::args().skip(1).collect());
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // The usage printer keys on the subcommand actually being invoked,
+    // so pre-scan for it before flag parsing can bail out.
+    let _ = SUBCOMMAND.set(raw.iter().find(|a| !a.starts_with('-')).cloned());
+    let mut cur = Cursor::new(raw);
     let mut flags = CommonFlags::new();
     let mut which: Option<String> = None;
     let mut smoke = false;
     let mut fopts = fuzz::FuzzOptions::default();
     let mut fuzz_replay: Option<String> = None;
     let mut any_fuzz_flag = false;
+    let mut sopts = experiments::serve::ServeSweepOptions::default();
+    let mut any_serve_flag = false;
+    let mut seed_set = false;
     let fuzz_value = |cur: &mut Cursor, name: &str| -> String {
         cur.next()
             .unwrap_or_else(|| usage(&format!("{name} needs a value")))
@@ -111,10 +139,45 @@ fn main() {
         match tok.as_str() {
             "--smoke" => smoke = true,
             "--seed" => {
-                any_fuzz_flag = true;
-                fopts.seed = fuzz_value(&mut cur, "--seed")
+                // Shared by `fuzz` (case seed) and `serve` (workload
+                // seed); the applicability audit below rejects it for
+                // every other subcommand.
+                seed_set = true;
+                let seed = fuzz_value(&mut cur, "--seed")
                     .parse()
                     .unwrap_or_else(|_| usage("--seed wants an unsigned integer"));
+                fopts.seed = seed;
+                sopts.seed = seed;
+            }
+            "--requests" => {
+                any_serve_flag = true;
+                sopts.requests = fuzz_value(&mut cur, "--requests")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--requests wants an unsigned integer"));
+            }
+            "--slots" => {
+                any_serve_flag = true;
+                sopts.slots = fuzz_value(&mut cur, "--slots")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slots wants a nonzero count"));
+            }
+            "--slot-devices" => {
+                any_serve_flag = true;
+                sopts.slot_devices = fuzz_value(&mut cur, "--slot-devices")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slot-devices wants a nonzero count"));
+            }
+            "--quantum" => {
+                any_serve_flag = true;
+                sopts.quantum = fuzz_value(&mut cur, "--quantum")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--quantum wants an iteration count"));
+            }
+            "--max-queue" => {
+                any_serve_flag = true;
+                sopts.max_queue = fuzz_value(&mut cur, "--max-queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-queue wants an unsigned integer"));
             }
             "--budget-secs" => {
                 any_fuzz_flag = true;
@@ -153,7 +216,16 @@ fn main() {
         usage(&msg);
     }
     if any_fuzz_flag && which != "fuzz" {
-        usage("--seed/--budget-secs/--cases/--replay/--corpus/--inject-corruption only apply to the fuzz experiment");
+        usage("--budget-secs/--cases/--replay/--corpus/--inject-corruption only apply to the fuzz experiment");
+    }
+    if any_serve_flag && which != "serve" {
+        usage(
+            "--requests/--slots/--slot-devices/--quantum/--max-queue only apply to the serve \
+             experiment",
+        );
+    }
+    if seed_set && which != "fuzz" && which != "serve" {
+        usage("--seed only applies to the fuzz and serve experiments");
     }
     let scope = flags.scope;
     engine::set_global_config(flags.engine.clone());
@@ -206,6 +278,41 @@ fn main() {
         return;
     }
 
+    // `serve` exports its own saturation-curve record type and collects
+    // its traces per rate point, so it renders `--out`/`--trace`
+    // directly like the fabric sweeps. Golden divergence aborts the
+    // sweep; watchdog trips exit 1 after every export is written.
+    if which == "serve" {
+        let (points, traces) =
+            experiments::serve::sweep(scope, &sopts).unwrap_or_else(|msg| die(&msg));
+        print!("{}", experiments::serve::render(&points));
+        if let Some(path) = flags.out_path {
+            write_or_die(&path, &flags.format.render(&points));
+            eprintln!("wrote {} result rows to {path}", points.len());
+        }
+        if let Some(path) = flags.trace_path {
+            if traces.is_empty() {
+                eprintln!("warning: no serve traces captured");
+            }
+            let many = traces.len() > 1;
+            for (label, report) in &traces {
+                let file = if many {
+                    suffixed_path(&path, label)
+                } else {
+                    path.clone()
+                };
+                write_trace(&file, report);
+            }
+        }
+        let trips: u64 = points.iter().map(|p| p.watchdog_trips).sum();
+        if trips > 0 {
+            die(&format!(
+                "{trips} device watchdog trip(s) during the serve sweep; see the rows above"
+            ));
+        }
+        return;
+    }
+
     if flags.out_path.is_some() {
         engine::enable_recording();
     }
@@ -230,7 +337,7 @@ fn main() {
         "paperscale" => print!("{}", experiments::paperscale::run()),
         "related" => print!("{}", experiments::related_work::run(scope)),
         "explain" => print!("{}", bench::explain::run(scope)),
-        "fabric" | "chaos-fabric" | "perf" => {
+        "fabric" | "chaos-fabric" | "serve" | "perf" => {
             unreachable!("dispatched before the engine recorder")
         }
         other => usage(&format!("unknown experiment {other}")),
@@ -343,22 +450,13 @@ fn suffixed_path(path: &str, label: &str) -> String {
     }
 }
 
+/// The subcommand named on the command line, captured before flag
+/// parsing so [`usage`] can print that subcommand's own flag set.
+static SUBCOMMAND: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!(
-        "usage: repro <table1|table2|table3|fig11|...|fig17|ablate|sweep|explain|fabric|\
-         chaos-fabric|perf|fuzz|all> \
-         [--full] [--smoke] [--shrink N] [--jobs N] [--timeout-secs S] \
-         [--seed N] [--budget-secs N] [--cases N] [--replay SPEC] [--corpus DIR] \
-         [--inject-corruption] \
-         [--out PATH] [--format json|csv] \
-         [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole] \
-         [--fault-seed N] [--watchdog-cycles N] \
-         [--link-fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole|\
-         lossy[:permille]|duplicate] \
-         [--link-fault-seed N] [--link-retry CYCLES] [--checkpoint-interval N] \
-         [--sim-threads N] \
-         [--trace PATH] [--trace-level events|counters] [--trace-window START:END]"
-    );
+    let sub = SUBCOMMAND.get().and_then(|s| s.as_deref());
+    eprint!("{}", bench::cli::usage_for(sub));
     std::process::exit(2);
 }

@@ -177,6 +177,69 @@ impl CommonFlags {
     }
 }
 
+/// The shared-flag block every subcommand's usage text ends with.
+const SHARED_USAGE: &str = "\
+shared flags:
+  [--full] [--shrink N] [--jobs N] [--timeout-secs S]
+  [--out PATH] [--format json|csv]
+  [--fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole]
+  [--fault-seed N] [--watchdog-cycles N]
+  [--link-fault-profile none|delay|reorder|nack|chaos-lite|chaos|black-hole|lossy[:permille]|duplicate]
+  [--link-fault-seed N] [--link-retry CYCLES] [--checkpoint-interval N]
+  [--sim-threads N]
+  [--trace PATH] [--trace-level events|counters] [--trace-window START:END]
+";
+
+/// Renders the usage text for `sub`: subcommand-specific for the
+/// subcommands that take extra flags (`serve`, `fuzz`, `perf`), the
+/// generic experiment-list text for everything else (including a
+/// missing or unknown subcommand). The `repro` binary prints this on
+/// exit code 2, so an unknown flag names the flags of the subcommand
+/// actually being invoked instead of the whole flag universe.
+pub fn usage_for(sub: Option<&str>) -> String {
+    match sub {
+        Some("serve") => format!(
+            "usage: repro serve [serve flags] [shared flags]
+serve flags:
+  [--seed N]         master workload seed (default 1)
+  [--requests N]     requests per rate point (default 100)
+  [--slots N]        device slots in the pool (default 2)
+  [--slot-devices N] devices per slot; >1 runs each job on a fabric
+  [--quantum N]      preemption quantum in iterations (default 2)
+  [--max-queue N]    admission-control queue bound (default 16)
+sweeps offered load x25%..10x of pool saturation and reports the
+saturation curve; same seed + config = byte-identical output at any
+--jobs/--sim-threads setting
+{SHARED_USAGE}"
+        ),
+        Some("fuzz") => format!(
+            "usage: repro fuzz [fuzz flags] [shared flags]
+fuzz flags:
+  [--seed N]             master seed (default 1); same seed = same cases
+  [--budget-secs N]      deterministic work budget
+  [--cases N]            exact case count (default 200 without a budget)
+  [--replay SPEC]        re-run one case: @corpus-file or seed:index
+  [--corpus DIR]         where failing cases are saved
+  [--inject-corruption]  test hook: corrupt results so oracles fire
+{SHARED_USAGE}"
+        ),
+        Some("perf") => format!(
+            "usage: repro perf [--smoke] [shared flags]
+  [--smoke]  run just the pinned CI smoke point
+{SHARED_USAGE}"
+        ),
+        _ => format!(
+            "usage: repro <experiment> [flags]
+experiments: table1 table2 table3 fig11 fig12 fig13 fig14 fig15 fig16
+             fig17 ablate sweep syncasync paperscale related explain
+             fabric chaos-fabric serve perf fuzz all
+`repro <experiment> --help-like output`: rerun with the experiment name
+for its specific flags (serve, fuzz, and perf take extra flags)
+{SHARED_USAGE}"
+        ),
+    }
+}
+
 /// Parses `START:END` cycle bounds for `--trace-window`.
 fn parse_window(s: &str) -> Option<(u64, u64)> {
     let (a, b) = s.split_once(':')?;
@@ -270,6 +333,25 @@ mod tests {
         assert_eq!(flags.engine.sim_threads, 0, "default is auto");
         assert!(parse(&["--sim-threads"]).is_err());
         assert!(parse(&["--sim-threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn usage_is_subcommand_specific() {
+        let generic = usage_for(None);
+        assert!(generic.contains("serve"), "{generic}");
+        assert!(generic.contains("chaos-fabric"), "{generic}");
+        let serve = usage_for(Some("serve"));
+        assert!(serve.contains("--requests"), "{serve}");
+        assert!(serve.contains("--slot-devices"), "{serve}");
+        assert!(!serve.contains("--budget-secs"), "{serve}");
+        let fuzz = usage_for(Some("fuzz"));
+        assert!(fuzz.contains("--replay"), "{fuzz}");
+        assert!(!fuzz.contains("--max-queue"), "{fuzz}");
+        // Every variant carries the shared block.
+        for text in [&generic, &serve, &fuzz, &usage_for(Some("table1"))] {
+            assert!(text.contains("--trace-window"), "{text}");
+            assert!(text.contains("--shrink"), "{text}");
+        }
     }
 
     #[test]

@@ -1459,6 +1459,344 @@ pub mod chaos_fabric {
     }
 }
 
+/// `repro serve`: arrival-rate sweep over the multi-tenant serving layer
+/// — each point replays the same seeded request stream shape at a
+/// different offered load and reports the saturation curve (latency
+/// quantiles, goodput, shed rate, fairness).
+pub mod serve {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    use super::*;
+    use ::serve::{ServeConfig, ServeReport};
+    use simkit::record::{Record, Value};
+    use simkit::trace::TraceReport;
+
+    /// The sweep dimensions and the per-point scheduler parameters.
+    #[derive(Debug, Clone)]
+    pub struct ServeSweepOptions {
+        /// Master workload seed (`--seed`).
+        pub seed: u64,
+        /// Requests per rate point (`--requests`).
+        pub requests: u64,
+        /// Device slots in the pool (`--slots`).
+        pub slots: usize,
+        /// Devices per slot; `> 1` dispatches each job onto a fabric
+        /// (`--slot-devices`).
+        pub slot_devices: usize,
+        /// Preemption quantum in iterations (`--quantum`).
+        pub quantum: u32,
+        /// Admission-control queue bound (`--max-queue`).
+        pub max_queue: usize,
+        /// Offered loads to sweep, in permille of pool saturation.
+        pub rates_permille: Vec<u64>,
+    }
+
+    impl Default for ServeSweepOptions {
+        fn default() -> Self {
+            ServeSweepOptions {
+                seed: 1,
+                requests: 100,
+                slots: 2,
+                slot_devices: 1,
+                quantum: 2,
+                max_queue: 16,
+                rates_permille: vec![250, 500, 1000, 2000, 4000, 10000],
+            }
+        }
+    }
+
+    /// One rate point of the saturation curve.
+    #[derive(Debug, Clone)]
+    pub struct ServePoint {
+        /// Master workload seed.
+        pub seed: u64,
+        /// Offered load in permille of pool saturation.
+        pub rate_permille: u64,
+        /// Mean interarrival gap the rate resolved to (cycles).
+        pub interarrival: u64,
+        /// Mean calibrated service time across catalog jobs (cycles).
+        pub service: u64,
+        /// Requests generated / admitted / shed / completed / failed.
+        pub generated: u64,
+        /// Requests admitted past admission control.
+        pub admitted: u64,
+        /// Requests rejected with the queue at capacity.
+        pub shed: u64,
+        /// Requests that finished with a validated result.
+        pub completed: u64,
+        /// Requests lost to device watchdog trips.
+        pub failed: u64,
+        /// Preemptions (checkpoint-and-park) performed.
+        pub preemptions: u64,
+        /// Parked jobs resumed from their checkpoint.
+        pub resumes: u64,
+        /// Parked jobs restarted after checkpoint eviction.
+        pub restarts: u64,
+        /// Requests that rode another request's dispatch.
+        pub co_batched: u64,
+        /// Completions after their SLO deadline.
+        pub deadline_misses: u64,
+        /// Completions that disagreed with the golden reference.
+        pub golden_mismatches: u64,
+        /// Device watchdog trips.
+        pub watchdog_trips: u64,
+        /// Parked checkpoints evicted for capacity.
+        pub evictions: u64,
+        /// End-to-end latency quantiles (cycles).
+        pub p50: u64,
+        /// 90th percentile latency.
+        pub p90: u64,
+        /// 99th percentile latency.
+        pub p99: u64,
+        /// 99.9th percentile latency.
+        pub p999: u64,
+        /// Mean end-to-end latency.
+        pub mean_latency: f64,
+        /// High-priority-class 99th percentile latency.
+        pub high_p99: u64,
+        /// Normal-priority-class 99th percentile latency.
+        pub normal_p99: u64,
+        /// Low-priority-class 99th percentile latency.
+        pub low_p99: u64,
+        /// Virtual cycle the last request left the system.
+        pub makespan: u64,
+        /// Completions per million cycles of makespan.
+        pub goodput: f64,
+        /// Fraction of generated requests shed.
+        pub shed_rate: f64,
+        /// Busy fraction of the pool.
+        pub utilization: f64,
+        /// Jain fairness over weight-normalized tenant completions.
+        pub fairness: f64,
+    }
+
+    impl ServePoint {
+        fn from_report(r: &ServeReport) -> Self {
+            let (p50, p90, p99, p999) = r.latency.summary();
+            ServePoint {
+                seed: r.seed,
+                rate_permille: r.rate_permille,
+                interarrival: r.mean_interarrival,
+                service: r.mean_service,
+                generated: r.generated,
+                admitted: r.admitted,
+                shed: r.shed,
+                completed: r.completed,
+                failed: r.failed,
+                preemptions: r.preemptions,
+                resumes: r.resumes,
+                restarts: r.restarts,
+                co_batched: r.co_batched,
+                deadline_misses: r.deadline_misses,
+                golden_mismatches: r.golden_mismatches,
+                watchdog_trips: r.watchdog_trips,
+                evictions: r.checkpoint_evictions,
+                p50,
+                p90,
+                p99,
+                p999,
+                mean_latency: r.latency.mean(),
+                high_p99: r.class_latency[0].quantile(0.99),
+                normal_p99: r.class_latency[1].quantile(0.99),
+                low_p99: r.class_latency[2].quantile(0.99),
+                makespan: r.makespan,
+                goodput: r.goodput_per_mcycle(),
+                shed_rate: r.shed_rate(),
+                utilization: r.utilization(),
+                fairness: r.fairness(),
+            }
+        }
+    }
+
+    impl Record for ServePoint {
+        fn fields(&self) -> Vec<(&'static str, Value)> {
+            vec![
+                ("seed", Value::from(self.seed)),
+                ("rate_permille", Value::from(self.rate_permille)),
+                ("interarrival", Value::from(self.interarrival)),
+                ("service", Value::from(self.service)),
+                ("generated", Value::from(self.generated)),
+                ("admitted", Value::from(self.admitted)),
+                ("shed", Value::from(self.shed)),
+                ("completed", Value::from(self.completed)),
+                ("failed", Value::from(self.failed)),
+                ("preemptions", Value::from(self.preemptions)),
+                ("resumes", Value::from(self.resumes)),
+                ("restarts", Value::from(self.restarts)),
+                ("co_batched", Value::from(self.co_batched)),
+                ("deadline_misses", Value::from(self.deadline_misses)),
+                ("golden_mismatches", Value::from(self.golden_mismatches)),
+                ("watchdog_trips", Value::from(self.watchdog_trips)),
+                ("evictions", Value::from(self.evictions)),
+                ("p50", Value::from(self.p50)),
+                ("p90", Value::from(self.p90)),
+                ("p99", Value::from(self.p99)),
+                ("p999", Value::from(self.p999)),
+                ("mean_latency", Value::from(self.mean_latency)),
+                ("high_p99", Value::from(self.high_p99)),
+                ("normal_p99", Value::from(self.normal_p99)),
+                ("low_p99", Value::from(self.low_p99)),
+                ("makespan", Value::from(self.makespan)),
+                ("goodput", Value::from(self.goodput)),
+                ("shed_rate", Value::from(self.shed_rate)),
+                ("utilization", Value::from(self.utilization)),
+                ("fairness", Value::from(self.fairness)),
+            ]
+        }
+    }
+
+    /// Builds the per-point [`ServeConfig`] for one rate.
+    fn point_config(scope: &Scope, opts: &ServeSweepOptions, rate: u64) -> ServeConfig {
+        let eng = crate::engine::global_config();
+        ServeConfig {
+            seed: opts.seed,
+            requests: opts.requests,
+            slots: opts.slots,
+            slot_devices: opts.slot_devices,
+            quantum: opts.quantum,
+            max_queue: opts.max_queue,
+            rate_permille: rate,
+            shrink: scope.shrink,
+            sim_threads: if opts.slot_devices > 1 {
+                super::fabric::clamped_sim_threads(&eng)
+            } else {
+                1
+            },
+            watchdog_cycles: eng.watchdog_cycles.and_then(|w| (w > 0).then_some(w)),
+            trace: eng.trace,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Runs the rate sweep, fanning points across `--jobs` worker
+    /// threads. Results land in per-point indexed slots, so the output
+    /// is byte-identical at any job count.
+    ///
+    /// # Errors
+    ///
+    /// A point whose completions diverge from the golden reference (or
+    /// whose scheduler stalls) aborts the sweep with a one-line summary
+    /// naming the rate — the `repro` binary turns it into exit 1.
+    #[allow(clippy::type_complexity)]
+    pub fn sweep(
+        scope: Scope,
+        opts: &ServeSweepOptions,
+    ) -> Result<(Vec<ServePoint>, Vec<(String, TraceReport)>), String> {
+        sweep_with_jobs(
+            scope,
+            opts,
+            crate::engine::global_config().effective_jobs().max(1),
+        )
+    }
+
+    /// [`sweep`] with an explicit worker count instead of the global
+    /// engine config — the byte-identity tests compare `jobs = 1`
+    /// against `jobs = 4` without touching process-global state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`sweep`].
+    #[allow(clippy::type_complexity)]
+    pub fn sweep_with_jobs(
+        scope: Scope,
+        opts: &ServeSweepOptions,
+        jobs: usize,
+    ) -> Result<(Vec<ServePoint>, Vec<(String, TraceReport)>), String> {
+        let n = opts.rates_permille.len();
+        let jobs = jobs.max(1).min(n.max(1));
+        let slots: Vec<Mutex<Option<Result<ServeReport, String>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let rate = opts.rates_permille[i];
+                    let cfg = point_config(&scope, opts, rate);
+                    let res = ::serve::run(&cfg).map_err(|e| format!("serve rate={rate}: {e}"));
+                    *slots[i].lock().unwrap() = Some(res);
+                });
+            }
+        });
+        let mut points = Vec::with_capacity(n);
+        let mut traces = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let rep = slot
+                .into_inner()
+                .unwrap()
+                .expect("every sweep slot is filled")?;
+            if rep.golden_mismatches > 0 {
+                return Err(format!(
+                    "serve rate={}: {} completion(s) diverged from the golden reference",
+                    opts.rates_permille[i], rep.golden_mismatches
+                ));
+            }
+            if !rep.trace.is_empty() {
+                traces.push((
+                    format!("rate-{}", opts.rates_permille[i]),
+                    rep.trace.clone(),
+                ));
+            }
+            points.push(ServePoint::from_report(&rep));
+        }
+        Ok((points, traces))
+    }
+
+    /// Renders the saturation curve as a text table.
+    pub fn render(points: &[ServePoint]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== serve: saturation curve (offered load vs latency/goodput, seed {}) ==",
+            points.first().map_or(0, |p| p.seed)
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8} {:>6} {:>6} {:>6}",
+            "rate",
+            "gen",
+            "adm",
+            "shed",
+            "done",
+            "batch",
+            "preempt",
+            "p50",
+            "p99",
+            "hi-p99",
+            "goodput",
+            "util",
+            "fair",
+            "miss"
+        );
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{:>5}x {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8.2} \
+                 {:>5.0}% {:>6.3} {:>6}",
+                p.rate_permille as f64 / 1000.0,
+                p.generated,
+                p.admitted,
+                p.shed,
+                p.completed,
+                p.co_batched,
+                p.preemptions,
+                p.p50,
+                p.p99,
+                p.high_p99,
+                p.goodput,
+                p.utilization * 100.0,
+                p.fairness,
+                p.deadline_misses
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

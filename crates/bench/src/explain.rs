@@ -85,6 +85,7 @@ pub fn run(scope: Scope) -> String {
         }
     }
     render_fabric(&mut out, scope, arch);
+    render_serve(&mut out, scope);
     out
 }
 
@@ -151,6 +152,68 @@ fn render_fabric(out: &mut String, scope: Scope, arch: ArchPoint) {
     }
 }
 
+/// Appends one serving-layer attribution: a small fixed 2x-overload run
+/// whose counters explain where requests went (admitted, shed, batched,
+/// preempted) and what latency each scheduling class saw — the serving
+/// analogue of the PE-cycle table above it.
+fn render_serve(out: &mut String, scope: Scope) {
+    let cfg = ::serve::ServeConfig {
+        seed: 1,
+        requests: 32,
+        slots: 2,
+        quantum: 2,
+        rate_permille: 2000,
+        shrink: scope.shrink,
+        ..::serve::ServeConfig::default()
+    };
+    let label = format!(
+        "serve: {} requests at {}x load on {} slots",
+        cfg.requests,
+        cfg.rate_permille as f64 / 1000.0,
+        cfg.slots
+    );
+    let rep = match ::serve::run(&cfg) {
+        Ok(rep) => rep,
+        Err(e) => {
+            let _ = writeln!(out, "-- {label}: failed: {e} --");
+            return;
+        }
+    };
+    let _ = writeln!(
+        out,
+        "-- {label}: {} cycles makespan, {:.0}% pool utilization --",
+        rep.makespan,
+        rep.utilization() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  requests: {} admitted, {} shed, {} completed, {} failed, \
+         {} co-batched, {} deadline misses",
+        rep.admitted, rep.shed, rep.completed, rep.failed, rep.co_batched, rep.deadline_misses
+    );
+    let _ = writeln!(
+        out,
+        "  preemption: {} preempts, {} resumes, {} restarts, {} checkpoint evictions",
+        rep.preemptions, rep.resumes, rep.restarts, rep.checkpoint_evictions
+    );
+    let (p50, p90, p99, p999) = rep.latency.summary();
+    let _ = writeln!(
+        out,
+        "  latency: p50 {p50} p90 {p90} p99 {p99} p999 {p999} (cycles); \
+         class p99 high {} normal {} low {}",
+        rep.class_latency[0].quantile(0.99),
+        rep.class_latency[1].quantile(0.99),
+        rep.class_latency[2].quantile(0.99)
+    );
+    let _ = writeln!(
+        out,
+        "  service: goodput {:.2}/Mcycle, shed rate {:.1}%, tenant fairness {:.3}",
+        rep.goodput_per_mcycle(),
+        rep.shed_rate() * 100.0,
+        rep.fairness()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +249,14 @@ mod tests {
         assert!(
             report.contains("transport:"),
             "fabric section must report protocol counters:\n{report}"
+        );
+        assert!(
+            report.contains("-- serve:"),
+            "serve section must be present:\n{report}"
+        );
+        assert!(
+            report.contains("tenant fairness"),
+            "serve section must report fairness:\n{report}"
         );
     }
 }

@@ -1,0 +1,48 @@
+//! Multi-tenant serving layer over a pool of simulated accelerators.
+//!
+//! Every other entry point in this workspace runs exactly one algorithm
+//! on one graph to completion. This crate adds the layer the ROADMAP's
+//! "serves heavy traffic" north star asks for: a deterministic
+//! virtual-time simulation of a graph-analytics *service* in which a
+//! seeded open-loop workload ([`workload`]) emits timestamped requests
+//! (algorithm × graph × tenant × priority × deadline) and a scheduler
+//! ([`scheduler`]) admits, queues, co-batches, and dispatches them onto
+//! a pool of [`accel::System`] device slots.
+//!
+//! The design mirrors the paper's cache philosophy one level up: the
+//! MOMS keeps thousands of *misses* in flight per device, and the
+//! serving layer keeps many *jobs* in flight across devices —
+//! preempting long low-priority jobs at iteration boundaries through
+//! the fabric's [`accel::CheckpointStore`] protocol and shedding load
+//! under overload instead of queueing without bound.
+//!
+//! Everything is simulated in virtual time with integer arithmetic and
+//! [`simkit::SplitMix64`] randomness only, so a run is a pure function
+//! of `(seed, config)`: the exported report is byte-identical across
+//! hosts, repeat runs, `--jobs` fan-out, and `--sim-threads` settings.
+//!
+//! ```
+//! use serve::{run, ServeConfig};
+//!
+//! let report = run(&ServeConfig {
+//!     requests: 10,
+//!     shrink: 64,
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! assert_eq!(report.completed + report.failed, report.admitted);
+//! assert_eq!(report.golden_mismatches, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod report;
+pub mod scheduler;
+pub mod session;
+pub mod workload;
+
+pub use report::ServeReport;
+pub use scheduler::{run, Scheduler, ServeConfig};
+pub use session::{Session, SliceEnd};
+pub use workload::{Catalog, JobKey, Priority, Request, Tenant, WorkloadConfig, TENANTS};

@@ -1,0 +1,185 @@
+//! The structured outcome of one serving run.
+
+use simkit::trace::TraceReport;
+use simkit::{Cycle, LatencyHistogram};
+
+use crate::workload::TENANTS;
+
+/// Everything a serving run produced: admission/completion counters,
+/// latency distributions, per-tenant completion counts, and the
+/// (optional) trace. A pure function of `(seed, config)` — every field
+/// is byte-stable across repeat runs, `--jobs` fan-out, and
+/// `--sim-threads` settings.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Master workload seed.
+    pub seed: u64,
+    /// Offered load in permille of one-device saturation (1000 = the
+    /// pool's calibrated capacity).
+    pub rate_permille: u64,
+    /// Mean virtual-time gap between arrivals, derived from the rate.
+    pub mean_interarrival: Cycle,
+    /// Mean calibrated service cycles across catalog jobs.
+    pub mean_service: Cycle,
+    /// Device slots in the pool.
+    pub slots: usize,
+    /// Requests the generator emitted.
+    pub generated: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests rejected at arrival because the queue was full.
+    pub shed: u64,
+    /// Admitted requests that finished with a validated result.
+    pub completed: u64,
+    /// Admitted requests lost to a device watchdog trip.
+    pub failed: u64,
+    /// Times a running job was checkpointed and parked for a
+    /// higher-class one.
+    pub preemptions: u64,
+    /// Times a parked job resumed from its checkpoint.
+    pub resumes: u64,
+    /// Times a parked job's checkpoint had been evicted and the job
+    /// restarted from scratch.
+    pub restarts: u64,
+    /// Requests that rode an already-queued identical job instead of
+    /// occupying their own dispatch (same graph × query co-batching).
+    pub co_batched: u64,
+    /// Completions after their SLO deadline.
+    pub deadline_misses: u64,
+    /// Completions whose values disagreed with the golden reference.
+    pub golden_mismatches: u64,
+    /// Device watchdog trips across the run.
+    pub watchdog_trips: u64,
+    /// Parked checkpoints discarded to respect the parking capacity.
+    pub checkpoint_evictions: u64,
+    /// Virtual cycle at which the last request left the system.
+    pub makespan: Cycle,
+    /// Device-busy cycles summed over slots.
+    pub busy_cycles: Cycle,
+    /// End-to-end latency (arrival → completion) over all completions.
+    pub latency: LatencyHistogram,
+    /// Latency split by scheduling class (High, Normal, Low).
+    pub class_latency: [LatencyHistogram; 3],
+    /// Completions per tenant, indexed like [`TENANTS`].
+    pub tenant_completed: Vec<u64>,
+    /// Serving-layer trace (empty unless tracing was enabled).
+    pub trace: TraceReport,
+}
+
+impl ServeReport {
+    /// Completed requests per million device-slot cycles of makespan —
+    /// the saturation curve's y-axis.
+    pub fn goodput_per_mcycle(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1.0e6 / self.makespan as f64
+        }
+    }
+
+    /// Fraction of generated requests rejected by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.generated as f64
+        }
+    }
+
+    /// Fraction of pool capacity spent busy: `busy / (slots × makespan)`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.slots as u64 * self.makespan;
+        if denom == 0 {
+            0.0
+        } else {
+            (self.busy_cycles as f64 / denom as f64).min(1.0)
+        }
+    }
+
+    /// Jain's fairness index over weight-normalized per-tenant
+    /// completions: 1.0 when every tenant gets service proportional to
+    /// its traffic weight, approaching `1/n` under starvation. Empty
+    /// runs count as perfectly fair.
+    pub fn fairness(&self) -> f64 {
+        let shares: Vec<f64> = self
+            .tenant_completed
+            .iter()
+            .zip(TENANTS.iter())
+            .map(|(&done, t)| done as f64 / t.weight as f64)
+            .collect();
+        let sum: f64 = shares.iter().sum();
+        if sum == 0.0 {
+            return 1.0;
+        }
+        let sq: f64 = shares.iter().map(|s| s * s).sum();
+        (sum * sum) / (shares.len() as f64 * sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty() -> ServeReport {
+        ServeReport {
+            seed: 0,
+            rate_permille: 0,
+            mean_interarrival: 0,
+            mean_service: 0,
+            slots: 2,
+            generated: 0,
+            admitted: 0,
+            shed: 0,
+            completed: 0,
+            failed: 0,
+            preemptions: 0,
+            resumes: 0,
+            restarts: 0,
+            co_batched: 0,
+            deadline_misses: 0,
+            golden_mismatches: 0,
+            watchdog_trips: 0,
+            checkpoint_evictions: 0,
+            makespan: 0,
+            busy_cycles: 0,
+            latency: LatencyHistogram::new(),
+            class_latency: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
+            tenant_completed: vec![0; TENANTS.len()],
+            trace: TraceReport::default(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics_handle_empty_runs() {
+        let r = empty();
+        assert_eq!(r.goodput_per_mcycle(), 0.0);
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.fairness(), 1.0);
+    }
+
+    #[test]
+    fn fairness_rewards_weight_proportional_service() {
+        let mut r = empty();
+        // Completions exactly proportional to weights 1:2:2:3.
+        r.tenant_completed = vec![10, 20, 20, 30];
+        assert!((r.fairness() - 1.0).abs() < 1e-12);
+        // Total starvation of all but one tenant tends to 1/4.
+        r.tenant_completed = vec![60, 0, 0, 0];
+        assert!((r.fairness() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_clamped_and_scaled_by_slots() {
+        let mut r = empty();
+        r.makespan = 1000;
+        r.busy_cycles = 1000;
+        assert!((r.utilization() - 0.5).abs() < 1e-12, "2 slots, half busy");
+        r.busy_cycles = 5000;
+        assert_eq!(r.utilization(), 1.0, "clamped");
+    }
+}

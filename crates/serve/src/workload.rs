@@ -1,0 +1,361 @@
+//! Seeded open-loop workload generation: the request stream a serving
+//! run replays.
+//!
+//! The generator is open-loop (arrivals do not react to service times)
+//! and fully deterministic: request `i` of master seed `s` draws all of
+//! its randomness from `SplitMix64::new(case_seed(s, i))` — the same
+//! per-case seed derivation the conformance fuzzer uses — so any single
+//! request is reproducible in isolation and the whole stream is a pure
+//! function of `(seed, count, mean interarrival)`. Interarrival gaps are
+//! integer-uniform in `[1, 2·mean − 1]` (mean exactly `mean`), avoiding
+//! floating-point transcendentals whose libm implementations differ
+//! across hosts.
+
+use algos::Algorithm;
+use graph::{CooGraph, GraphSpec};
+use simkit::fuzz::case_seed;
+use simkit::{Cycle, SplitMix64};
+
+/// Scheduling class of a tenant. Lower discriminant = more urgent; the
+/// scheduler serves classes strictly in this order and preempts running
+/// lower-class jobs when higher-class work waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive interactive traffic.
+    High,
+    /// Default tier.
+    Normal,
+    /// Batch/background traffic; preempted first, widest deadline.
+    Low,
+}
+
+impl Priority {
+    /// All classes, most urgent first.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Dense index (also the class-queue index): High=0, Normal=1, Low=2.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Stable label for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Deadline slack as a multiple of the job's calibrated mean service
+    /// time: `deadline = arrival + factor × service_estimate`.
+    pub fn deadline_factor(self) -> u64 {
+        match self {
+            Priority::High => 4,
+            Priority::Normal => 16,
+            Priority::Low => 64,
+        }
+    }
+}
+
+/// One tenant of the service.
+#[derive(Debug, Clone, Copy)]
+pub struct Tenant {
+    /// Stable tenant label.
+    pub name: &'static str,
+    /// Scheduling class of every request this tenant sends.
+    pub priority: Priority,
+    /// Relative traffic share (weighted pick over the tenant table).
+    pub weight: u64,
+}
+
+/// The fixed tenant population of a serving run: one interactive tenant,
+/// two normal ones, and a batch tenant that emits the largest share.
+pub const TENANTS: [Tenant; 4] = [
+    Tenant {
+        name: "alpha",
+        priority: Priority::High,
+        weight: 1,
+    },
+    Tenant {
+        name: "bravo",
+        priority: Priority::Normal,
+        weight: 2,
+    },
+    Tenant {
+        name: "charlie",
+        priority: Priority::Normal,
+        weight: 2,
+    },
+    Tenant {
+        name: "delta",
+        priority: Priority::Low,
+        weight: 3,
+    },
+];
+
+/// What a request asks the pool to run: one query of the catalog on one
+/// graph of the catalog. Requests with equal keys compute identical
+/// results and are co-batched by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Index into [`Catalog::graphs`].
+    pub graph: usize,
+    /// Index into [`Catalog::queries`].
+    pub query: usize,
+}
+
+/// One timestamped request of the open-loop stream.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Dense request id (also the trace-event argument).
+    pub id: u64,
+    /// Virtual-time arrival cycle.
+    pub arrival: Cycle,
+    /// Index into [`TENANTS`].
+    pub tenant: usize,
+    /// Scheduling class (copied from the tenant).
+    pub priority: Priority,
+    /// What to run.
+    pub job: JobKey,
+    /// Virtual-time SLO deadline; completions after it count as misses
+    /// (they are not rejected).
+    pub deadline: Cycle,
+}
+
+/// The datasets and queries the service offers.
+///
+/// Graphs are small synthetic benchmarks (sized by the sweep's shrink
+/// factor) with deterministic weights, so every query of the catalog can
+/// run on every graph. WCC is deliberately absent: it requires a
+/// caller-symmetrized graph and would not share datasets with the other
+/// queries.
+pub struct Catalog {
+    /// `(tag, graph)` datasets.
+    pub graphs: Vec<(&'static str, CooGraph)>,
+    /// Offered queries (algorithm + root where applicable).
+    pub queries: Vec<Algorithm>,
+}
+
+impl Catalog {
+    /// The standard catalog at shrink factor `shrink` (1 = largest):
+    /// three graph families at `2^(10 − log2 shrink)` nodes (clamped to
+    /// `[64, 1024]`), six queries (two BFS roots, two SSSP roots,
+    /// PageRank, SCC).
+    pub fn small(shrink: u64) -> Self {
+        let log2 = 63 - shrink.max(1).leading_zeros() as i64;
+        let scale = (10 - log2).clamp(6, 10) as u32;
+        let n = 1u32 << scale;
+        let graphs = vec![
+            (
+                "rmat",
+                GraphSpec::rmat(scale, 4)
+                    .build(0xA11CE)
+                    .with_random_weights(1, 15, 101),
+            ),
+            (
+                "er",
+                GraphSpec::erdos_renyi(n, n as usize * 3)
+                    .build(0xB0B)
+                    .with_random_weights(1, 15, 102),
+            ),
+            (
+                "ba",
+                GraphSpec::barabasi_albert(n, 3)
+                    .build(0xCAFE)
+                    .with_random_weights(1, 15, 103),
+            ),
+        ];
+        let queries = vec![
+            Algorithm::bfs(0),
+            Algorithm::bfs(1),
+            Algorithm::sssp(0),
+            Algorithm::sssp(2),
+            Algorithm::pagerank(),
+            Algorithm::Scc,
+        ];
+        Catalog { graphs, queries }
+    }
+
+    /// Every `(graph, query)` pair, in catalog order.
+    pub fn jobs(&self) -> Vec<JobKey> {
+        let mut out = Vec::with_capacity(self.graphs.len() * self.queries.len());
+        for graph in 0..self.graphs.len() {
+            for query in 0..self.queries.len() {
+                out.push(JobKey { graph, query });
+            }
+        }
+        out
+    }
+
+    /// Dense index of `key` into the [`jobs`](Catalog::jobs) order.
+    pub fn job_index(&self, key: JobKey) -> usize {
+        key.graph * self.queries.len() + key.query
+    }
+
+    /// Human-readable `graph/query` label.
+    pub fn job_label(&self, key: JobKey) -> String {
+        format!(
+            "{}/{}",
+            self.graphs[key.graph].0,
+            self.queries[key.query].name()
+        )
+    }
+}
+
+/// Parameters of one generated request stream.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Master seed; request `i` derives its RNG via
+    /// [`simkit::fuzz::case_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// How many requests to emit.
+    pub requests: u64,
+    /// Mean virtual-time gap between arrivals (≥ 1).
+    pub mean_interarrival: Cycle,
+}
+
+/// Generates the request stream, sorted by arrival.
+///
+/// `service_estimate` maps a [`Catalog::job_index`] to the job's
+/// calibrated mean service cycles and sizes each request's deadline
+/// (`arrival + priority factor × estimate`).
+pub fn generate(
+    cfg: &WorkloadConfig,
+    catalog: &Catalog,
+    service_estimate: &[Cycle],
+) -> Vec<Request> {
+    assert_eq!(
+        service_estimate.len(),
+        catalog.graphs.len() * catalog.queries.len(),
+        "one service estimate per catalog job"
+    );
+    let mean = cfg.mean_interarrival.max(1);
+    let total_weight: u64 = TENANTS.iter().map(|t| t.weight).sum();
+    let mut out = Vec::with_capacity(cfg.requests as usize);
+    let mut arrival: Cycle = 0;
+    for i in 0..cfg.requests {
+        let mut rng = SplitMix64::new(case_seed(cfg.seed, i));
+        // Integer-uniform in [1, 2·mean − 1]: mean exactly `mean`, no
+        // floats, no zero gaps.
+        arrival += 1 + rng.next_below(2 * mean - 1);
+        let mut pick = rng.next_below(total_weight);
+        let mut tenant = 0;
+        for (t, spec) in TENANTS.iter().enumerate() {
+            if pick < spec.weight {
+                tenant = t;
+                break;
+            }
+            pick -= spec.weight;
+        }
+        let job = JobKey {
+            graph: rng.next_below(catalog.graphs.len() as u64) as usize,
+            query: rng.next_below(catalog.queries.len() as u64) as usize,
+        };
+        let priority = TENANTS[tenant].priority;
+        let slack = priority.deadline_factor() * service_estimate[catalog.job_index(job)];
+        out.push(Request {
+            id: i,
+            arrival,
+            tenant,
+            priority,
+            job,
+            deadline: arrival + slack,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_estimates(catalog: &Catalog) -> Vec<Cycle> {
+        vec![1000; catalog.graphs.len() * catalog.queries.len()]
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let catalog = Catalog::small(16);
+        let cfg = WorkloadConfig {
+            seed: 7,
+            requests: 64,
+            mean_interarrival: 500,
+        };
+        let est = flat_estimates(&catalog);
+        let a = generate(&cfg, &catalog, &est);
+        let b = generate(&cfg, &catalog, &est);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        let c = generate(&WorkloadConfig { seed: 8, ..cfg }, &catalog, &est);
+        assert!(
+            a.iter().zip(c.iter()).any(|(x, y)| x.arrival != y.arrival),
+            "different seeds must give different streams"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_with_sane_mean() {
+        let catalog = Catalog::small(16);
+        let cfg = WorkloadConfig {
+            seed: 3,
+            requests: 400,
+            mean_interarrival: 200,
+        };
+        let reqs = generate(&cfg, &catalog, &flat_estimates(&catalog));
+        let mut prev = 0;
+        for r in &reqs {
+            assert!(r.arrival > prev, "arrivals strictly increase");
+            assert!(r.deadline > r.arrival);
+            prev = r.arrival;
+        }
+        let mean = reqs.last().unwrap().arrival / 400;
+        assert!(
+            (100..=300).contains(&mean),
+            "observed mean interarrival {mean} far from configured 200"
+        );
+    }
+
+    #[test]
+    fn every_tenant_and_job_appears() {
+        let catalog = Catalog::small(16);
+        let cfg = WorkloadConfig {
+            seed: 1,
+            requests: 500,
+            mean_interarrival: 10,
+        };
+        let reqs = generate(&cfg, &catalog, &flat_estimates(&catalog));
+        for t in 0..TENANTS.len() {
+            assert!(reqs.iter().any(|r| r.tenant == t), "tenant {t} missing");
+        }
+        for job in catalog.jobs() {
+            assert!(
+                reqs.iter().any(|r| r.job == job),
+                "job {} missing",
+                catalog.job_label(job)
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_scales_with_shrink() {
+        assert_eq!(Catalog::small(1).graphs[0].1.num_nodes(), 1024);
+        assert_eq!(Catalog::small(4).graphs[0].1.num_nodes(), 256);
+        assert_eq!(Catalog::small(64).graphs[0].1.num_nodes(), 64);
+        assert_eq!(Catalog::small(1 << 20).graphs[0].1.num_nodes(), 64);
+        let c = Catalog::small(16);
+        assert_eq!(c.jobs().len(), c.graphs.len() * c.queries.len());
+        for (i, job) in c.jobs().into_iter().enumerate() {
+            assert_eq!(c.job_index(job), i);
+        }
+        for (_, g) in &c.graphs {
+            assert!(g.is_weighted(), "every catalog graph serves SSSP");
+        }
+    }
+}

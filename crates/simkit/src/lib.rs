@@ -58,7 +58,7 @@ pub use delay::DelayLine;
 pub use fault::{FaultConfig, FaultInjector, FaultProfile};
 pub use fifo::{Fifo, PushError};
 pub use handshake::CrossingLink;
-pub use record::{Record, Value};
+pub use record::{LatencyHistogram, Record, Value};
 pub use rng::SplitMix64;
 pub use stats::Stats;
 pub use trace::{

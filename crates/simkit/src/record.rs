@@ -295,6 +295,196 @@ impl Format {
     }
 }
 
+/// Sub-bucket resolution bits of [`LatencyHistogram`]: each power-of-two
+/// range is split into `2^HIST_SUB_BITS` linear sub-buckets, bounding the
+/// relative quantile error at `2^-HIST_SUB_BITS` (12.5%).
+const HIST_SUB_BITS: u32 = 3;
+/// Values below this are counted in exact unit buckets.
+const HIST_EXACT: usize = 1 << (HIST_SUB_BITS + 1);
+/// Total bucket count: the exact range plus 8 sub-buckets for every
+/// remaining bit position of a `u64`.
+const HIST_BUCKETS: usize = HIST_EXACT + (64 - (HIST_SUB_BITS + 1) as usize) * (1 << HIST_SUB_BITS);
+
+/// Allocation-free log-linear latency histogram.
+///
+/// Designed for per-request latency recording in hot scheduler loops: the
+/// whole state is two fixed arrays' worth of `u64` counters, so `record`
+/// never allocates and `merge` is a pure element-wise add — exactly
+/// associative and commutative, which keeps fan-out/fan-in aggregation
+/// byte-deterministic regardless of merge order.
+///
+/// Values below 16 land in exact unit buckets; larger values share a
+/// bucket with at most 12.5% relative spread (power-of-two exponent plus
+/// [`HIST_SUB_BITS`] linear bits). [`quantile`](Self::quantile) returns
+/// the inclusive upper edge of the bucket holding the requested rank
+/// (clamped to the observed maximum), so for any recorded distribution
+/// `oracle(q) <= quantile(q) <= oracle(q) * 9/8 + 1`.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl PartialEq for LatencyHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.buckets[..] == other.buckets[..]
+    }
+}
+impl Eq for LatencyHistogram {}
+
+impl LatencyHistogram {
+    /// An empty histogram. All state is inline; nothing is allocated.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`.
+    fn bucket_of(v: u64) -> usize {
+        if v < HIST_EXACT as u64 {
+            return v as usize;
+        }
+        // Highest set bit is at position m >= SUB_BITS+1; the SUB_BITS
+        // bits below it pick the linear sub-bucket.
+        let m = 63 - v.leading_zeros();
+        let sub = (v >> (m - HIST_SUB_BITS)) & ((1 << HIST_SUB_BITS) - 1);
+        HIST_EXACT + ((m - (HIST_SUB_BITS + 1)) * (1 << HIST_SUB_BITS) + sub as u32) as usize
+    }
+
+    /// Inclusive upper edge of bucket `b` — the value `quantile` reports
+    /// for samples inside it.
+    fn upper_edge(b: usize) -> u64 {
+        if b < HIST_EXACT {
+            return b as u64;
+        }
+        let i = (b - HIST_EXACT) as u32;
+        let m = HIST_SUB_BITS + 1 + i / (1 << HIST_SUB_BITS);
+        let sub = (i % (1 << HIST_SUB_BITS)) as u128;
+        let hi = ((1 << HIST_SUB_BITS) as u128 + sub + 1) << (m - HIST_SUB_BITS);
+        u64::try_from(hi - 1).unwrap_or(u64::MAX)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Element-wise `u64` addition (saturating
+    /// on the sample sum), so merging is exactly associative and
+    /// commutative: any merge tree over the same histograms yields the
+    /// same bytes.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the
+    /// bucket containing the sample of rank `ceil(q * count)` (rank 1 for
+    /// `q = 0`), clamped to the observed maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_edge(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard latency quartet `(p50, p90, p99, p999)`.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +573,92 @@ mod tests {
         assert_eq!(fmt_float(3.0), "3.0");
         assert_eq!(fmt_float(0.25), "0.25");
         assert_eq!(fmt_float(1e300).parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn histogram_is_exact_below_sixteen() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        // With exact unit buckets, every quantile matches the oracle.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_relative_error() {
+        let mut h = LatencyHistogram::new();
+        let mut vals: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        while x < 1 << 40 {
+            vals.push(x);
+            vals.push(x + x / 3);
+            x *= 7;
+        }
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let n = vals.len() as f64;
+            let rank = ((q * n).ceil() as usize).clamp(1, vals.len());
+            let oracle = vals[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= oracle, "q={q}: {got} < oracle {oracle}");
+            assert!(
+                got <= oracle + oracle / 8 + 1,
+                "q={q}: {got} > oracle {oracle} * 9/8 + 1"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let (mut a, mut b, mut all) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for v in [3u64, 90, 17, 200_000, 5, 1 << 33] {
+            all.record(v);
+        }
+        for v in [3u64, 90, 17] {
+            a.record(v);
+        }
+        for v in [200_000u64, 5, 1 << 33] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        let empty = LatencyHistogram::new();
+        let mut c = all.clone();
+        c.merge(&empty);
+        assert_eq!(c, all);
+        assert_eq!(empty.quantile(0.99), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn histogram_handles_extreme_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // The top bucket's edge saturates instead of overflowing.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        let (p50, p90, p99, p999) = h.summary();
+        assert_eq!(p50, 0);
+        assert_eq!(p90, u64::MAX);
+        assert_eq!(p99, u64::MAX);
+        assert_eq!(p999, u64::MAX);
     }
 
     #[test]

@@ -146,6 +146,9 @@ pub enum TrackKind {
     /// The fabric controller (checkpoints, rollback, recovery — one
     /// instance).
     Fabric,
+    /// The multi-tenant serving layer's scheduler (admission, dispatch,
+    /// preemption — one instance).
+    Serve,
 }
 
 /// Identity of one timeline in the trace (one PE, one bank, one channel).
@@ -214,6 +217,14 @@ impl Track {
         }
     }
 
+    /// The serving-layer scheduler track.
+    pub fn serve() -> Self {
+        Track {
+            kind: TrackKind::Serve,
+            index: 0,
+        }
+    }
+
     /// Stable human-readable label, also the Perfetto thread name.
     pub fn label(&self) -> String {
         match self.kind {
@@ -224,6 +235,7 @@ impl Track {
             TrackKind::DramChannel => format!("dram.ch[{}]", self.index),
             TrackKind::Link => format!("link[{}]", self.index),
             TrackKind::Fabric => "fabric".to_owned(),
+            TrackKind::Serve => "serve".to_owned(),
         }
     }
 
@@ -237,6 +249,7 @@ impl Track {
             TrackKind::DramChannel => 4,
             TrackKind::Link => 5,
             TrackKind::Fabric => 6,
+            TrackKind::Serve => 7,
         };
         (kind << 16) | self.index as u32
     }
@@ -331,6 +344,23 @@ pub enum EventKind {
     /// The fabric rolled every shard back to a checkpoint; arg =
     /// iteration resumed from.
     Rollback,
+    /// A serving-layer request arrived; arg = request id.
+    ServeArrive,
+    /// Admission control rejected a request under overload; arg =
+    /// request id.
+    ServeShed,
+    /// A request batch was dispatched onto a device slot; arg = request
+    /// id of the batch leader.
+    ServeDispatch,
+    /// A running job was preempted at an iteration boundary and its
+    /// checkpoint parked; arg = request id of the batch leader.
+    ServePreempt,
+    /// A parked job resumed from its checkpoint; arg = request id of the
+    /// batch leader.
+    ServeResume,
+    /// A request completed and its latency was recorded; arg = request
+    /// id.
+    ServeComplete,
 }
 
 impl EventKind {
@@ -374,6 +404,12 @@ impl EventKind {
             EventKind::LinkDupDrop => "link.dup_drop",
             EventKind::CheckpointSave => "fabric.checkpoint",
             EventKind::Rollback => "fabric.rollback",
+            EventKind::ServeArrive => "serve.arrive",
+            EventKind::ServeShed => "serve.shed",
+            EventKind::ServeDispatch => "serve.dispatch",
+            EventKind::ServePreempt => "serve.preempt",
+            EventKind::ServeResume => "serve.resume",
+            EventKind::ServeComplete => "serve.complete",
         }
     }
 

@@ -304,3 +304,107 @@ fn bounded_delay_line_matches_capacity_model() {
         assert_eq!(d.len(), m.len(), "now {now}: len");
     }
 }
+
+/// Reference oracle for [`LatencyHistogram::quantile`]: the exact
+/// rank-`ceil(q·n)` order statistic from a sorted copy of the samples.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[rank as usize - 1]
+}
+
+/// Draws one sample stream mixing the histogram's exact range, the
+/// log-bucketed mid range, and sparse huge outliers.
+fn histogram_samples(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| match rng.next_below(10) {
+            0..=3 => rng.next_below(16),                // exact buckets
+            4..=7 => 16 + rng.next_below(100_000),      // log range
+            8 => 1 << (20 + rng.next_below(30) as u32), // powers of two
+            _ => u64::MAX - rng.next_below(1 << 20),    // near-overflow
+        })
+        .collect()
+}
+
+/// Merging is element-wise integer addition, so any merge tree over the
+/// same histograms must produce identical bytes: `(a ∪ b) ∪ c` equals
+/// `a ∪ (b ∪ c)` equals the histogram of the concatenated streams, and
+/// merging an empty histogram is the identity.
+#[test]
+fn histogram_merge_is_associative_and_matches_concatenation() {
+    use simkit::record::LatencyHistogram;
+    for seed in 0..6u64 {
+        let streams: Vec<Vec<u64>> = (0..3)
+            .map(|i| histogram_samples(seed * 31 + i, 200 + 37 * i as usize))
+            .collect();
+        let parts: Vec<LatencyHistogram> = streams
+            .iter()
+            .map(|s| {
+                let mut h = LatencyHistogram::new();
+                for &v in s {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+
+        let mut flat = LatencyHistogram::new();
+        for s in &streams {
+            for &v in s {
+                flat.record(v);
+            }
+        }
+
+        assert_eq!(left, right, "seed {seed}: merge order changed the bytes");
+        assert_eq!(left, flat, "seed {seed}: merge differs from concatenation");
+
+        let mut with_empty = left.clone();
+        with_empty.merge(&LatencyHistogram::new());
+        assert_eq!(with_empty, left, "seed {seed}: empty merge not identity");
+    }
+}
+
+/// Every quantile must land in `[oracle, oracle + oracle/8 + 1]`: never
+/// below the true order statistic (bucket upper edges round up) and
+/// within the documented `2^-3` relative error above it.
+#[test]
+fn histogram_quantiles_bound_the_sorted_vec_oracle() {
+    use simkit::record::LatencyHistogram;
+    for seed in 0..6u64 {
+        for n in [1usize, 2, 7, 100, 1_000] {
+            let samples = histogram_samples(seed * 17 + n as u64, n);
+            let mut h = LatencyHistogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            assert_eq!(h.count(), n as u64);
+            assert_eq!(h.min(), sorted[0]);
+            assert_eq!(h.max(), *sorted.last().unwrap());
+            for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let want = oracle_quantile(&sorted, q);
+                let got = h.quantile(q);
+                assert!(
+                    got >= want,
+                    "seed {seed} n {n} q {q}: {got} below oracle {want}"
+                );
+                let slack = want / 8 + 1;
+                assert!(
+                    got <= want.saturating_add(slack),
+                    "seed {seed} n {n} q {q}: {got} exceeds oracle {want} + {slack}"
+                );
+            }
+        }
+    }
+}
